@@ -1,0 +1,40 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (§6).  Wall-clock numbers measured by pytest-benchmark time
+the *simulator*; the scientifically meaningful outputs are the
+simulated-nanosecond figures, which every module registers here and
+which are printed as paper-style tables at the end of the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: table title -> list of preformatted lines.
+_TABLES: dict[str, list[str]] = {}
+
+
+def add_table(title: str, lines: list[str]) -> None:
+    _TABLES[title] = list(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 72)
+    write("REPRODUCED TABLES AND FIGURES (simulated time)")
+    write("=" * 72)
+    for title, lines in _TABLES.items():
+        write("")
+        write(f"--- {title}")
+        for line in lines:
+            write(line)
+    write("")
+
+
+@pytest.fixture
+def record_table():
+    return add_table

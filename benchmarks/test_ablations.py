@@ -1,0 +1,148 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* meta-package clustering (§5.3): how many MPK keys would views need
+  without it, vs with it;
+* libmpk-style key virtualization (§5.3): programs whose clustering
+  exceeds 16 keys run anyway, paying re-tagging on overflow switches;
+* goroutine stack pooling (§5.1 runtime): what per-request stack
+  setup would cost a goroutine-per-connection server without reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+from repro.workloads.fasthttp import build_fasthttp_image
+from repro.workloads.httpserver import HttpDriver, build_http_image
+
+from benchmarks.conftest import add_table
+
+
+def test_clustering_compresses_views_into_16_keys(benchmark):
+    """The 103-package FastHTTP app needs only a handful of keys."""
+    image = benchmark.pedantic(build_fasthttp_image, rounds=1, iterations=1)
+    machine = Machine(image, MachineConfig(backend="mpk"))
+    packages = len(machine.image.graph.names())
+    metas = len(machine.litterbox.clustering)
+    add_table("Ablation: meta-package clustering (FastHTTP app)", [
+        f"packages in program:        {packages}",
+        f"meta-packages after cluster: {metas}",
+        f"MPK keys available:          15 (+1 default)",
+        "without clustering, every package would need its own key",
+    ])
+    benchmark.extra_info["packages"] = packages
+    benchmark.extra_info["meta_packages"] = metas
+    assert packages > 100
+    assert metas <= 15
+
+
+def _many_enclosures_source(count: int) -> list[str]:
+    """A program with `count` enclosures over distinct views."""
+    deps = []
+    calls = []
+    for i in range(count):
+        deps.append(f"""
+package dep{i}
+
+func Work(x int) int {{
+    return x + {i}
+}}
+""")
+        calls.append(
+            f'f{i} := with "none" func(x int) int '
+            f'{{ return dep{i}.Work(x) }}\n    acc = acc + f{i}({i})')
+    imports = "".join(f'    "dep{i}"\n' for i in range(count))
+    main = (f"package main\n\nimport (\n{imports})\n\n"
+            "func main() {\n    acc := 0\n    "
+            + "\n    ".join(calls) + "\n    println(acc)\n}\n")
+    return [main] + deps
+
+
+def test_key_virtualization(benchmark):
+    """>15 meta-packages: rejected without virtualization, works with
+    it (libmpk), at a re-tagging cost on overflow-environment switches."""
+    sources = _many_enclosures_source(16)  # 16 distinct views -> >15 metas
+
+    def build_and_measure():
+        image = build_program(sources)
+        with pytest.raises(ConfigError, match="virtualization"):
+            Machine(image, MachineConfig(backend="mpk"))
+        image = build_program(sources)
+        machine = Machine(image, MachineConfig(backend="mpk",
+                                               virtualize_keys=True))
+        start = machine.clock.now_ns
+        result = machine.run()
+        assert result.status == "exited", machine.fault
+        elapsed = machine.clock.now_ns - start
+        metas = len(machine.litterbox.clustering)
+        return metas, elapsed, machine.clock.count("switches")
+
+    metas, elapsed, switches = benchmark.pedantic(build_and_measure,
+                                                  rounds=1, iterations=1)
+    add_table("Ablation: libmpk key virtualization", [
+        f"meta-packages:      {metas} (> 15 hardware keys)",
+        "plain LBMPK:        rejected at Init",
+        f"with virtualization: runs; {switches} switches, "
+        f"{elapsed / 1e3:.1f}us simulated",
+    ])
+    benchmark.extra_info["meta_packages"] = metas
+    assert metas > 15
+    assert switches == 32  # 16 enclosure calls, 2 switches each
+
+
+def test_lwc_alternative_backend(benchmark):
+    """§8's suggested software backend, across the Table 1 operations:
+    LWC needs no special hardware, switches like VT-x (one kernel entry)
+    but performs system calls at baseline cost (no seccomp machinery,
+    no hypercalls)."""
+    from benchmarks.test_table1_micro import (
+        measure_call,
+        measure_syscall,
+        measure_transfer,
+    )
+
+    def measure():
+        return {op: fn("lwc") for op, fn in
+                (("call", measure_call), ("transfer", measure_transfer),
+                 ("syscall", measure_syscall))}
+
+    lwc = benchmark.pedantic(measure, rounds=1, iterations=1)
+    add_table("Ablation: LWC software backend (Table 1 ops, ns)", [
+        f"{'':<10}{'LBLWC':>10}   (LBMPK / LBVTX)",
+        f"{'call':<10}{lwc['call']:>10.0f}   (86 / 924)",
+        f"{'transfer':<10}{lwc['transfer']:>10.0f}   (1002 / 158)",
+        f"{'syscall':<10}{lwc['syscall']:>10.0f}   (523 / 4126)",
+    ])
+    benchmark.extra_info.update({k: round(v) for k, v in lwc.items()})
+    # Syscalls at (near-)baseline cost; switches ~ a host syscall each.
+    assert lwc["syscall"] < 523
+    assert 500 < lwc["call"] < 2000
+
+
+def test_stack_pooling(benchmark):
+    """Disable the Go-style stack pool: the goroutine-per-connection
+    server pays mmap + 16-page pkey_mprotect per request."""
+
+    def serve(pooled: bool) -> float:
+        machine = Machine(build_http_image(), MachineConfig(backend="mpk"))
+        if not pooled:
+            machine.litterbox.release_stacks = lambda goroutine: None
+        driver = HttpDriver(machine)
+        driver.start()
+        return driver.throughput(10)
+
+    def measure():
+        return serve(True), serve(False)
+
+    with_pool, without_pool = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+    add_table("Ablation: goroutine stack pooling (HTTP on LBMPK)", [
+        f"with pooling:    {with_pool:,.0f} req/s",
+        f"without pooling: {without_pool:,.0f} req/s "
+        f"({with_pool / without_pool:.2f}x worse)",
+    ])
+    benchmark.extra_info["speedup"] = round(with_pool / without_pool, 2)
+    assert with_pool > without_pool

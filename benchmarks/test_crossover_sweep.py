@@ -1,0 +1,101 @@
+"""The §6.1 "informed decision" crossover, made quantitative.
+
+"While LBVTX more efficiently handles memory sections being transferred
+between packages, LBMPK wins when it comes to filtering and executing
+system calls.  Thus, depending on application characteristics, users can
+make an informed decision on which version of LitterBox to use."
+
+This sweep runs a parameterized enclosure workload whose inner loop
+performs `S` system calls and `A` fresh allocations (arena transfers)
+per iteration, and locates the crossover: allocation-heavy mixes favour
+LBVTX (cheap presence-bit transfers), syscall-heavy mixes favour LBMPK
+(no hypercalls).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+
+from benchmarks.conftest import add_table
+
+ITERS = 40
+
+TEMPLATE = """
+package main
+
+var sink int
+
+func main() {{
+    work := with "proc" func(n int) int {{
+        acc := 0
+        for i := 0; i < n; i++ {{
+            {syscalls}
+            {allocs}
+        }}
+        return acc
+    }}
+    sink = work({iters})
+}}
+"""
+
+
+def _workload(syscalls: int, allocs: int) -> str:
+    sys_lines = "\n            ".join(
+        "acc = acc + syscall(102)" for _ in range(syscalls))
+    # Each iteration allocates a fresh large object: a span transfer.
+    alloc_lines = "\n            ".join(
+        f"s{k} := make([]int, 600)\n            acc = acc + len(s{k})"
+        for k in range(allocs))
+    return TEMPLATE.format(syscalls=sys_lines or "acc = acc + 0",
+                           allocs=alloc_lines or "acc = acc + 0",
+                           iters=ITERS)
+
+
+def _time(source: str, backend: str) -> float:
+    machine = Machine(build_program([source]), MachineConfig(backend=backend))
+    start = machine.clock.now_ns
+    result = machine.run()
+    assert result.status == "exited", machine.fault
+    return machine.clock.now_ns - start
+
+
+MIXES = [
+    ("4 syscalls / 0 allocs", 4, 0),
+    ("2 syscalls / 1 alloc", 2, 1),
+    ("1 syscall / 2 allocs", 1, 2),
+    ("0 syscalls / 4 allocs", 0, 4),
+]
+
+_RESULTS: dict[str, tuple[float, float]] = {}
+
+
+@pytest.mark.parametrize("label,syscalls,allocs", MIXES)
+def test_crossover(benchmark, label, syscalls, allocs):
+    source = _workload(syscalls, allocs)
+
+    def measure():
+        return _time(source, "mpk"), _time(source, "vtx")
+
+    mpk_ns, vtx_ns = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _RESULTS[label] = (mpk_ns, vtx_ns)
+    benchmark.extra_info["mpk_us"] = round(mpk_ns / 1e3, 1)
+    benchmark.extra_info["vtx_us"] = round(vtx_ns / 1e3, 1)
+
+    lines = [f"{'per-iteration mix':<24}{'LBMPK':>10}{'LBVTX':>10}   winner"]
+    for mix_label, _, _ in MIXES:
+        if mix_label not in _RESULTS:
+            continue
+        m, v = _RESULTS[mix_label]
+        winner = "LBMPK" if m < v else "LBVTX"
+        lines.append(f"{mix_label:<24}{m / 1e3:>9.1f}u{v / 1e3:>9.1f}u"
+                     f"   {winner}")
+    add_table("Section 6.1: MPK/VTX crossover by workload mix", lines)
+
+    # The paper's qualitative claim, as assertions at the extremes.
+    if syscalls == 4 and allocs == 0:
+        assert mpk_ns < vtx_ns      # syscall-heavy: LBMPK wins
+    if syscalls == 0 and allocs == 4:
+        assert vtx_ns < mpk_ns      # transfer-heavy: LBVTX wins

@@ -1,0 +1,40 @@
+"""Figure 4: the final executable produced for Figure 1's program.
+
+The paper's figure shows the linked ELF with per-package .text/.rodata/
+.data sections, the enclosure closure isolated in its own section, and
+the three distinguished LitterBox sections (.pkgs, .rstrct, .verif).
+This benchmark links the Figure 1 program and regenerates that layout.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import add_table
+from tests.fig1 import build_image
+
+
+def test_fig4_layout(benchmark, record_table):
+    image = benchmark.pedantic(build_image, rounds=1, iterations=1)
+
+    lines = image.describe_layout().splitlines()
+    record_table("Figure 4: executable layout (Figure 1 program)", lines)
+
+    names = {load.section.name for load in image.sections}
+    # Per-package text, rodata, data — no two packages share a page.
+    assert {"main.text", "libfx.text", "secrets.data",
+            "encl.rcl.text"} <= names
+    # The three distinguished sections handed to LitterBox Init.
+    assert {"litterbox.super.pkgs", "litterbox.super.rstrct",
+            "litterbox.super.verif"} <= names
+
+    # The metadata blobs parse and carry what Init needs.
+    pkgs = json.loads(image.pkgs_blob())
+    rstrct = json.loads(image.rstrct_blob())
+    verif = json.loads(image.verif_blob())
+    assert any(p["name"] == "libfx" for p in pkgs)
+    assert rstrct[0]["policy"] == "secrets:R, none"
+    assert len(verif) == 2  # the thunk's Prolog + Epilog call-sites
+
+    benchmark.extra_info["sections"] = len(image.sections)
+    benchmark.extra_info["verif_entries"] = len(verif)

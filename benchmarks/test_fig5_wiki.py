@@ -1,0 +1,80 @@
+"""Figure 5 / §6.3: the wiki-like web application.
+
+Two enclosures (the mux HTTP server; the pq Postgres proxy) around
+trusted glue.  The paper reports that "the throughput slowdown is
+similar to the one in the FastHTTP experiment"; this benchmark measures
+the wiki's slowdown per backend and checks that claim's shape, plus the
+functional behaviour (GET/POST round trips through the enclosed proxy
+into Postgres).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.fasthttp import run_fasthttp_server
+from repro.workloads.wiki import run_wiki
+
+from benchmarks.conftest import add_table
+
+BACKENDS = ("baseline", "mpk", "vtx")
+REQUESTS = 12
+
+_RESULTS: dict[str, float] = {}
+_FAST: dict[str, float] = {}
+
+
+def _wiki_throughput(backend: str) -> float:
+    driver, postgres = run_wiki(backend, pages={"home": "hello"})
+    # Functional check: a write, then reads of both pages.
+    driver.save("bench", "benchmark page content")
+    assert postgres.tables["bench"] == "benchmark page content"
+    start = driver.machine.clock.now_ns
+    for i in range(REQUESTS):
+        response = driver.view("home" if i % 2 else "bench")
+        assert b"WIKI" in response
+    elapsed = (driver.machine.clock.now_ns - start) * 1e-9
+    return REQUESTS / elapsed
+
+
+def _record() -> None:
+    if "baseline" not in _RESULTS:
+        return
+    base = _RESULTS["baseline"]
+    lines = [f"{'backend':<10}{'req/s':>12}{'slowdown':>10}"
+             "   (paper: similar to FastHTTP: 1.04x MPK / 2.01x VTX)"]
+    for backend in BACKENDS:
+        if backend in _RESULTS:
+            rate = _RESULTS[backend]
+            lines.append(f"{backend:<10}{rate:>12,.0f}{base / rate:>9.2f}x")
+    add_table("Figure 5: wiki web-app throughput", lines)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_wiki_throughput(benchmark, backend):
+    rate = benchmark.pedantic(lambda: _wiki_throughput(backend),
+                              rounds=1, iterations=1)
+    _RESULTS[backend] = rate
+    benchmark.extra_info["simulated_req_per_s"] = round(rate)
+    _record()
+
+
+def test_wiki_slowdown_similar_to_fasthttp(benchmark):
+    """§6.3's quantitative claim."""
+
+    def measure():
+        for backend in BACKENDS:
+            if backend not in _RESULTS:
+                _RESULTS[backend] = _wiki_throughput(backend)
+            if backend in ("baseline", "vtx") and backend not in _FAST:
+                _FAST[backend] = run_fasthttp_server(backend).throughput(10)
+        return _RESULTS["baseline"] / _RESULTS["vtx"]
+
+    wiki_vtx = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fast_vtx = _FAST["baseline"] / _FAST["vtx"]
+    benchmark.extra_info["wiki_vtx_slowdown"] = round(wiki_vtx, 2)
+    benchmark.extra_info["fasthttp_vtx_slowdown"] = round(fast_vtx, 2)
+    # "Similar": within ~45% of each other.
+    assert abs(wiki_vtx - fast_vtx) / fast_vtx < 0.45
+    # And the MPK slowdown stays small.
+    assert _RESULTS["baseline"] / _RESULTS["mpk"] < 1.3

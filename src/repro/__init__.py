@@ -1,0 +1,26 @@
+"""Reproduction of "Enclosure: Language-Based Restriction of Untrusted
+Libraries" (Ghosn et al., ASPLOS 2021).
+
+Public API tour:
+
+* :func:`repro.golite.build_program` — compile Golite (Go-like) sources,
+  including ``with "policy" func(...)`` enclosure expressions, into a
+  linked image;
+* :class:`repro.machine.Machine` — run an image under ``baseline``,
+  ``mpk`` (LBMPK), or ``vtx`` (LBVTX);
+* :class:`repro.core.LitterBox` — the enforcement framework itself;
+* :mod:`repro.pylite` — the dynamic (CPython-like) frontend;
+* :mod:`repro.workloads` / :mod:`repro.attacks` — the paper's §6
+  evaluation subjects.
+"""
+
+from repro.core import LitterBox, parse_policy
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LitterBox", "parse_policy", "build_program", "Machine",
+    "MachineConfig", "__version__",
+]

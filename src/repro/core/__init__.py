@@ -1,0 +1,30 @@
+"""The paper's primary contribution: enclosures + LitterBox."""
+
+from repro.core.backends import Backend, BaselineBackend
+from repro.core.clustering import Clustering, MetaPackage, cluster_packages
+from repro.core.enclosure import (
+    LITTERBOX_SUPER,
+    LITTERBOX_USER,
+    TRUSTED_ENV_ID,
+    EnclosureSpec,
+    Environment,
+    compute_view,
+    make_trusted_environment,
+)
+from repro.core.lb_mpk import MPKBackend
+from repro.core.lb_vtx import VTXBackend
+from repro.core.litterbox import LitterBox, STACK_SIZE
+from repro.core.packages import DependenceGraph, PackageInfo
+from repro.core.policy import Access, DEFAULT_POLICY, Policy, parse_policy
+
+__all__ = [
+    "Backend", "BaselineBackend",
+    "Clustering", "MetaPackage", "cluster_packages",
+    "LITTERBOX_SUPER", "LITTERBOX_USER", "TRUSTED_ENV_ID",
+    "EnclosureSpec", "Environment", "compute_view",
+    "make_trusted_environment",
+    "MPKBackend", "VTXBackend",
+    "LitterBox", "STACK_SIZE",
+    "DependenceGraph", "PackageInfo",
+    "Access", "DEFAULT_POLICY", "Policy", "parse_policy",
+]

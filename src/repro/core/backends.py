@@ -1,0 +1,74 @@
+"""Backend interface shared by LitterBox's enforcement mechanisms.
+
+LitterBox "provides a common implementation and only differentiates
+between the selected hardware for three operations: (1) creating and
+enforcing an execution environment (Init, FilterSyscall), (2) extending
+a package's arena (Transfer), and (3) performing a switch between
+execution environments (Prolog, Epilog, Execute)" (§5.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.core.enclosure import Environment
+from repro.hw.cpu import CPU
+from repro.hw.pages import Section
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.litterbox import LitterBox
+
+
+class Backend(abc.ABC):
+    """One hardware enforcement mechanism."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.litterbox: "LitterBox | None" = None
+
+    @abc.abstractmethod
+    def init(self, litterbox: "LitterBox") -> None:
+        """Create the execution environments from the computed views."""
+
+    @abc.abstractmethod
+    def switch_to(self, cpu: CPU, env: Environment) -> None:
+        """Install ``env``'s restrictions on the CPU (Prolog/Epilog/Execute)."""
+
+    @abc.abstractmethod
+    def transfer(self, section: Section, to_pkg: str) -> None:
+        """Re-assign a memory section to ``to_pkg``'s arena."""
+
+    @abc.abstractmethod
+    def prepare_stack(self, env: Environment, section: Section) -> None:
+        """Make a freshly mmapped stack section usable inside ``env``."""
+
+    @abc.abstractmethod
+    def syscall(self, cpu: CPU, nr: int, args: tuple[int, ...]) -> int:
+        """Route one SYSCALL instruction through this backend's filter path."""
+
+
+class BaselineBackend(Backend):
+    """No enforcement: enclosures behave as vanilla closures.
+
+    This is the paper's *Baseline* configuration; Prolog/Epilog are
+    no-ops and system calls go straight to the host kernel.
+    """
+
+    name = "baseline"
+
+    def init(self, litterbox: "LitterBox") -> None:
+        self.litterbox = litterbox
+
+    def switch_to(self, cpu: CPU, env: Environment) -> None:
+        pass
+
+    def transfer(self, section: Section, to_pkg: str) -> None:
+        pass
+
+    def prepare_stack(self, env: Environment, section: Section) -> None:
+        pass
+
+    def syscall(self, cpu: CPU, nr: int, args: tuple[int, ...]) -> int:
+        return self.litterbox.kernel.syscall(nr, args, cpu.ctx, pkru=0)

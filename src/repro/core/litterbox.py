@@ -1,0 +1,226 @@
+"""LitterBox: the language-independent enclosure enforcement framework.
+
+Exposes the six-call API of §4.2 — ``Init``, ``Prolog``, ``Epilog``,
+``FilterSyscall``, ``Transfer``, ``Execute`` — on top of a pluggable
+hardware backend (Intel MPK or Intel VT-x, plus an unenforced baseline).
+
+LitterBox's own state is split like the paper's: the *user* package is
+reachable from every environment (its call gates are the ``LBCALL``
+instructions, validated against the ``.verif`` section), while the
+*super* state — environment descriptions, the verification list —
+lives behind supervisor-only pages and in host-level (Python) state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.backends import Backend
+from repro.core.clustering import Clustering, cluster_packages
+from repro.core.enclosure import (
+    Environment,
+    compute_view,
+    make_trusted_environment,
+)
+from repro.errors import (
+    CallSiteFault,
+    ConfigError,
+    EscalationFault,
+    Fault,
+)
+from repro.hw.clock import SimClock
+from repro.hw.cpu import CPU, StackSegment
+from repro.hw.mmu import MMU, TranslationContext
+from repro.hw.pages import PAGE_SIZE, Perm, Section, check_disjoint
+from repro.image.elf import ElfImage
+from repro.isa.opcodes import Hook
+from repro.os.kernel import Kernel
+from repro.os.syscalls import SYS_MMAP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.scheduler import Goroutine
+
+STACK_SIZE = 16 * PAGE_SIZE
+_ARENA_PERMS = Perm.RW
+
+
+@dataclass
+class ArenaRecord:
+    """Ownership record for one transferred heap section."""
+
+    section: Section
+    owner: str
+
+
+class LitterBox:
+    """The enforcement framework instance for one loaded program."""
+
+    def __init__(self, backend: Backend, kernel: Kernel, mmu: MMU,
+                 clock: SimClock):
+        self.backend = backend
+        self.kernel = kernel
+        self.mmu = mmu
+        self.clock = clock
+        self.image: ElfImage | None = None
+        self.trusted_env = make_trusted_environment()
+        self.envs: dict[int, Environment] = {
+            self.trusted_env.id: self.trusted_env}
+        self.clustering: Clustering = Clustering()
+        self.verif: dict[int, int] = {}
+        self.arenas: list[ArenaRecord] = []
+        #: Trusted translation context for runtime-privileged accesses
+        #: (stack frame setup, GC-style metadata); set by the machine.
+        self.trusted_ctx: TranslationContext | None = None
+        #: Reusable stacks of exited goroutines, per environment (Go's
+        #: runtime recycles goroutine stacks from a pool).
+        self._stack_pools: dict[int, list[StackSegment]] = {}
+        self.initialized = False
+
+    # ------------------------------------------------------------------ Init
+
+    def init(self, image: ElfImage) -> None:
+        """Validate the program description and create all environments.
+
+        "LitterBox validates the configuration passed to Init by ensuring
+        that sections are aligned and non-overlapping and that the memory
+        views and authorized system calls can be satisfied" (§5.3).
+        """
+        if self.initialized:
+            raise ConfigError("LitterBox.Init called twice for this program")
+        all_sections = [s for pkg in image.graph for s in pkg.sections]
+        check_disjoint(all_sections)
+        self.image = image
+        self.verif = dict(image.verif)
+
+        for spec in image.enclosures:
+            view = compute_view(image.graph, spec)
+            env = Environment(
+                id=spec.id,
+                name=spec.name,
+                view=view,
+                syscalls=spec.policy.syscall_numbers,
+                spec=spec,
+            )
+            if spec.id in self.envs:
+                raise ConfigError(f"duplicate enclosure id {spec.id}")
+            self.envs[spec.id] = env
+
+        self.clustering = cluster_packages(
+            image.graph.names(), list(self.envs.values()))
+        self.backend.init(self)
+        self.initialized = True
+
+    def env(self, env_id: int) -> Environment:
+        try:
+            return self.envs[env_id]
+        except KeyError:
+            raise ConfigError(f"unknown environment id {env_id}") from None
+
+    # -------------------------------------------------------------- switches
+
+    def _verify_call_site(self, call_site: int, hook: Hook) -> None:
+        """Check the LBCALL site against the `.verif` list (in super)."""
+        registered = self.verif.get(call_site)
+        if registered != int(hook):
+            raise CallSiteFault(
+                f"unverified LitterBox {hook.name} call-site", addr=call_site)
+
+    def prolog(self, cpu: CPU, goroutine: "Goroutine", encl_id: int,
+               call_site: int) -> None:
+        """Enter an enclosure's execution environment (§4.2 Prolog)."""
+        self._verify_call_site(call_site, Hook.PROLOG)
+        target = self.env(encl_id)
+        current = goroutine.env
+        if not target.is_subset_of(current):
+            raise EscalationFault(
+                f"switch from {current.name!r} to less restrictive "
+                f"environment {target.name!r}")
+        goroutine.env_stack.append(
+            (current, cpu.fp, cpu.sp, cpu.stack))
+        stack = self._stack_for(goroutine, target)
+        cpu.stack = stack
+        cpu.fp = stack.base
+        cpu.sp = stack.base + 16
+        self._init_frame(stack.base)
+        goroutine.env = target
+        self.clock.tick("switches")
+        self.backend.switch_to(cpu, target)
+
+    def epilog(self, cpu: CPU, goroutine: "Goroutine",
+               call_site: int) -> None:
+        """Return to the caller's environment (§4.2 Epilog)."""
+        self._verify_call_site(call_site, Hook.EPILOG)
+        if not goroutine.env_stack:
+            raise Fault("exec", "Epilog without a matching Prolog")
+        previous, fp, sp, stack = goroutine.env_stack.pop()
+        goroutine.env = previous
+        cpu.fp, cpu.sp, cpu.stack = fp, sp, stack
+        self.clock.tick("switches")
+        self.backend.switch_to(cpu, previous)
+
+    def execute(self, cpu: CPU, goroutine: "Goroutine") -> None:
+        """Scheduler hook: resume a goroutine in its own environment
+        (§4.2 Execute).  Runtime-privileged; not an LBCALL site."""
+        self.backend.switch_to(cpu, goroutine.env)
+
+    # -------------------------------------------------------------- transfer
+
+    def transfer(self, base: int, size: int, to_pkg: str) -> None:
+        """Dynamically repartition heap memory between arenas (§4.2)."""
+        if self.image is not None and to_pkg not in self.image.graph:
+            raise ConfigError(f"transfer to unknown package {to_pkg!r}")
+        section = Section(f"{to_pkg}.arena+{base:#x}", base, size,
+                          perms=_ARENA_PERMS)
+        self.clock.tick("transfers")
+        self.backend.transfer(section, to_pkg)
+        self.arenas.append(ArenaRecord(section, to_pkg))
+
+    # ----------------------------------------------------------------- stacks
+
+    def _stack_for(self, goroutine: "Goroutine",
+                   env: Environment) -> StackSegment:
+        """Per-(goroutine, environment) split stacks: frames preceding the
+        enclosure call stay in the caller's segment, which is not part of
+        the enclosure's view."""
+        stack = goroutine.stacks.get(env.id)
+        if stack is None:
+            pool = self._stack_pools.get(env.id)
+            if pool:
+                # Reuse a recycled stack: already tagged/mapped for this
+                # environment, so no mmap and no re-tagging is needed.
+                stack = pool.pop()
+            else:
+                base = self.kernel.syscall(
+                    SYS_MMAP, (0, STACK_SIZE, 3, 0), None, pkru=0)
+                if base < 0:
+                    raise ConfigError("stack mmap failed")
+                stack = StackSegment(base, STACK_SIZE)
+                section = Section(f"stack.env{env.id}+{base:#x}", base,
+                                  STACK_SIZE, _ARENA_PERMS)
+                self.backend.prepare_stack(env, section)
+            goroutine.stacks[env.id] = stack
+        return stack
+
+    def release_stacks(self, goroutine: "Goroutine") -> None:
+        """Return an exited goroutine's stacks to the per-env pools."""
+        for env_id, stack in goroutine.stacks.items():
+            self._stack_pools.setdefault(env_id, []).append(stack)
+        goroutine.stacks.clear()
+
+    def allocate_initial_stack(self, goroutine: "Goroutine") -> StackSegment:
+        """Create the trusted-environment stack of a new goroutine."""
+        stack = self._stack_for(goroutine, goroutine.env)
+        self._init_frame(stack.base)
+        return stack
+
+    def _init_frame(self, base: int) -> None:
+        if self.trusted_ctx is None:
+            raise ConfigError("LitterBox has no trusted context wired")
+        self.mmu.write_word(self.trusted_ctx, base, 0, charge=False)
+        self.mmu.write_word(self.trusted_ctx, base + 8, 0, charge=False)
+
+    # ------------------------------------------------------------ accounting
+
+    def arena_of(self, pkg: str) -> list[Section]:
+        return [rec.section for rec in self.arenas if rec.owner == pkg]

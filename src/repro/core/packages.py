@@ -1,0 +1,117 @@
+"""Packages and the package-dependence graph (paper §2.1).
+
+A program is a collection of packages organized as a directed
+dependence graph, statically determinable from import statements.  A
+package's *natural dependencies* are its direct plus transitive
+dependencies; a package outside that set is *foreign* to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.pages import Section
+
+
+@dataclass
+class PackageInfo:
+    """LitterBox's description of one package (paper §4.1).
+
+    A package is a collection of non-overlapping sections: typically
+    text (RX), rodata (R), data (RW), and a dynamically growing arena.
+    """
+
+    name: str
+    imports: tuple[str, ...] = ()
+    sections: list[Section] = field(default_factory=list)
+    #: Estimated source size, used by the TCB accounting in Table 2.
+    loc: int = 0
+    #: Trusted infrastructure (litterbox.user/super, runtime) is never
+    #: subject to enclosure restriction policies.
+    trusted: bool = False
+
+    def add_section(self, section: Section) -> None:
+        self.sections.append(section)
+
+    def sections_of_kind(self, suffix: str) -> list[Section]:
+        return [s for s in self.sections if s.name.endswith(suffix)]
+
+
+class DependenceGraph:
+    """The program's directed package-dependence graph."""
+
+    def __init__(self) -> None:
+        self._packages: dict[str, PackageInfo] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def __iter__(self):
+        return iter(self._packages.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._packages)
+
+    def add(self, package: PackageInfo) -> None:
+        if package.name in self._packages:
+            raise ConfigError(f"duplicate package {package.name!r}")
+        self._packages[package.name] = package
+
+    def get(self, name: str) -> PackageInfo:
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise ConfigError(f"unknown package {name!r}") from None
+
+    def validate(self) -> None:
+        """Check import closure and reject import cycles (as Go does)."""
+        for package in self._packages.values():
+            for dep in package.imports:
+                if dep not in self._packages:
+                    raise ConfigError(
+                        f"package {package.name!r} imports unknown "
+                        f"package {dep!r}")
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(name: str, trail: tuple[str, ...]) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(trail + (name,))
+                raise ConfigError(f"import cycle: {cycle}")
+            state[name] = 0
+            for dep in self._packages[name].imports:
+                visit(dep, trail + (name,))
+            state[name] = 1
+
+        for name in self._packages:
+            visit(name, ())
+
+    def natural_dependencies(self, name: str) -> frozenset[str]:
+        """Direct plus transitive dependencies of ``name`` (excl. itself,
+        per the paper's definition)."""
+        root = self.get(name)
+        seen: set[str] = set()
+        stack = list(root.imports)
+        while stack:
+            dep = stack.pop()
+            if dep in seen:
+                continue
+            seen.add(dep)
+            stack.extend(self.get(dep).imports)
+        seen.discard(name)
+        return frozenset(seen)
+
+    def is_foreign(self, name: str, other: str) -> bool:
+        """``other`` is foreign to ``name`` if not a natural dependency."""
+        if other == name:
+            return False
+        return other not in self.natural_dependencies(name)
+
+    def dependents(self, name: str) -> frozenset[str]:
+        """Packages whose natural dependencies include ``name``."""
+        return frozenset(
+            pkg.name for pkg in self
+            if name in self.natural_dependencies(pkg.name))

@@ -1,0 +1,114 @@
+"""Enclosure policy grammar (paper §2.2).
+
+::
+
+    Policies     ::= MemModifiers , SysFilter
+    MemModifiers ::= ( pkg : U | R | RW | RWX )*
+    SysFilter    ::= none | all | ( net | io | file | mem | ... )*
+
+Policies are written as string literals so the compiler can validate
+their satisfiability at compile time; :func:`parse_policy` is that
+validator.  Examples::
+
+    "secrets:R, none"          # extend view read-only; no syscalls
+    "net"                      # default view; net syscalls only
+    "bar:U, io file"           # unmap bar; io + file syscalls
+    ""                         # the default policy: natural deps, none
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+from repro.os.syscalls import ALL_CATEGORIES, ALL_SYSCALLS, syscalls_for_categories
+
+
+class Access(enum.Enum):
+    """Package access rights, ordered from none to full."""
+
+    U = 0    # unmapped: completely inaccessible
+    R = 1    # read-only data and constants
+    RW = 2   # read constants, read-write variables
+    RWX = 3  # full: additionally invoke functions
+
+    def includes(self, other: "Access") -> bool:
+        """True if these rights are at least as permissive as ``other``."""
+        return self.value >= other.value
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A parsed enclosure policy."""
+
+    modifiers: dict[str, Access] = field(default_factory=dict)
+    categories: frozenset[str] = frozenset()
+    allow_all_syscalls: bool = False
+
+    @property
+    def syscall_numbers(self) -> frozenset[int]:
+        if self.allow_all_syscalls:
+            return frozenset(ALL_SYSCALLS)
+        return syscalls_for_categories(self.categories)
+
+    def describe(self) -> str:
+        mods = " ".join(f"{pkg}:{acc.name}"
+                        for pkg, acc in sorted(self.modifiers.items()))
+        if self.allow_all_syscalls:
+            sys_part = "all"
+        elif self.categories:
+            sys_part = " ".join(sorted(self.categories))
+        else:
+            sys_part = "none"
+        return f"{mods + ', ' if mods else ''}{sys_part}"
+
+
+#: The default policy: natural dependencies only, no system calls.
+DEFAULT_POLICY = Policy()
+
+
+def parse_policy(text: str) -> Policy:
+    """Parse and validate a policy literal.
+
+    Raises :class:`PolicyError` on unknown access rights, unknown
+    syscall categories, duplicate package modifiers, or a mixed
+    ``none``/``all`` with explicit categories.
+    """
+    modifiers: dict[str, Access] = {}
+    categories: set[str] = set()
+    saw_none = False
+    saw_all = False
+
+    for token in text.replace(",", " ").split():
+        if ":" in token:
+            pkg, _, right = token.partition(":")
+            if not pkg:
+                raise PolicyError(f"empty package name in modifier {token!r}")
+            try:
+                access = Access[right.upper()]
+            except KeyError:
+                raise PolicyError(
+                    f"unknown access right {right!r} for package {pkg!r}; "
+                    "expected U, R, RW, or RWX") from None
+            if pkg in modifiers:
+                raise PolicyError(f"duplicate modifier for package {pkg!r}")
+            modifiers[pkg] = access
+        elif token == "none":
+            saw_none = True
+        elif token == "all":
+            saw_all = True
+        elif token in ALL_CATEGORIES:
+            categories.add(token)
+        else:
+            raise PolicyError(
+                f"unknown policy token {token!r}; expected a pkg:RIGHT "
+                f"modifier, 'none', 'all', or one of {sorted(ALL_CATEGORIES)}")
+
+    if saw_none and (saw_all or categories):
+        raise PolicyError("'none' cannot be combined with other SysFilters")
+    if saw_all and categories:
+        raise PolicyError("'all' cannot be combined with explicit categories")
+
+    return Policy(modifiers=modifiers, categories=frozenset(categories),
+                  allow_all_syscalls=saw_all)

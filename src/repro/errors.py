@@ -1,0 +1,121 @@
+"""Exception hierarchy for the Enclosure/LitterBox reproduction.
+
+Every error raised by the simulated hardware, the simulated OS, the
+LitterBox backend, or the language frontends derives from
+:class:`SimError` so applications can catch simulation failures
+separately from programming errors in the host Python code.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all errors raised inside the simulation."""
+
+
+class ConfigError(SimError):
+    """An invalid configuration was passed to a simulated component."""
+
+
+class Fault(SimError):
+    """A hardware-detected access violation.
+
+    In the paper, a fault "stops the execution of the closure and aborts
+    the program".  The machine catches :class:`Fault` at its top level,
+    records a diagnostic trace, and terminates the simulated program.
+
+    Attributes:
+        kind: one of ``read``, ``write``, ``exec``, ``pkey``,
+            ``non-present``, ``syscall``, ``call-site``, ``escalation``.
+        addr: the faulting virtual address, if the fault is memory-related.
+        detail: human-readable root cause.
+    """
+
+    def __init__(self, kind: str, detail: str, addr: int | None = None):
+        self.kind = kind
+        self.addr = addr
+        self.detail = detail
+        location = f" at {addr:#x}" if addr is not None else ""
+        super().__init__(f"fault[{kind}]{location}: {detail}")
+
+
+class PageFault(Fault):
+    """Translation failed or the access violated page permissions."""
+
+
+class PkeyFault(Fault):
+    """The access violated the PKRU rights for the page's protection key."""
+
+    def __init__(self, detail: str, addr: int | None = None, pkey: int = 0):
+        self.pkey = pkey
+        super().__init__("pkey", detail, addr)
+
+
+class SyscallFault(Fault):
+    """An enclosure attempted a system call denied by its filter."""
+
+    def __init__(self, detail: str, nr: int):
+        self.nr = nr
+        super().__init__("syscall", detail)
+
+
+class CallSiteFault(Fault):
+    """A LitterBox API call came from a call-site absent from ``.verif``."""
+
+    def __init__(self, detail: str, addr: int | None = None):
+        super().__init__("call-site", detail, addr)
+
+
+class EscalationFault(Fault):
+    """A switch attempted to enter a less restrictive environment."""
+
+    def __init__(self, detail: str):
+        super().__init__("escalation", detail)
+
+
+class PolicyError(SimError):
+    """An enclosure policy string failed to parse or to be satisfied."""
+
+
+class LinkError(SimError):
+    """The linker could not lay out the program image."""
+
+
+class CompileError(SimError):
+    """A Golite source program failed to lex, parse, or type-check."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        where = f" (line {line})" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class KernelError(SimError):
+    """The simulated kernel rejected an operation (bad fd, bad addr, ...)."""
+
+
+class PyliteError(SimError):
+    """The Pylite interpreter hit an unsupported construct or bad program."""
+
+
+class WouldBlock(SimError):
+    """Control-flow signal: the current operation must wait.
+
+    Raised by kernel / runtime services when a goroutine must block
+    (empty accept queue, empty channel, ...).  The interpreter catches
+    it, rolls the instruction back, and parks the goroutine on
+    ``wait_key`` until something calls the scheduler's ``wake``.
+    """
+
+    def __init__(self, wait_key: tuple):
+        self.wait_key = wait_key
+        super().__init__(f"would block on {wait_key}")
+
+
+class MachineHalt(SimError):
+    """Internal signal: the simulated program executed HALT."""
+
+    def __init__(self, exit_code: int = 0):
+        self.exit_code = exit_code
+        super().__init__(f"halt({exit_code})")

@@ -1,0 +1,7 @@
+"""Golite: the Go-like frontend with `with`-enclosure support (paper §5.1)."""
+
+from repro.golite.codegen import ProgramInfo
+from repro.golite.parser import parse_source
+from repro.golite.program import build_program, compile_program
+
+__all__ = ["ProgramInfo", "parse_source", "build_program", "compile_program"]

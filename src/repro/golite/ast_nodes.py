@@ -1,0 +1,233 @@
+"""AST node definitions for Golite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# ---------------------------------------------------------------- types (syntactic)
+
+
+@dataclass
+class TypeName:
+    """A syntactic type: name plus optional structure."""
+
+    kind: str                 # int | byte | bool | string | slice | ptr |
+    #                           chan | func | named
+    name: str = ""            # for named struct types
+    elem: "TypeName | None" = None
+    params: list["TypeName"] = field(default_factory=list)
+    ret: "TypeName | None" = None
+
+
+# ---------------------------------------------------------------- expressions
+
+
+@dataclass
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StrLit:
+    value: str
+    line: int = 0
+
+
+@dataclass
+class BoolLit:
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class Ident:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Selector:
+    """``base.field`` — a package member or a struct field."""
+
+    base: Any
+    field: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    base: Any
+    index: Any
+    line: int = 0
+
+
+@dataclass
+class SliceExpr:
+    """``s[lo:hi]`` (strings only in Golite)."""
+
+    base: Any
+    lo: Any
+    hi: Any
+    line: int = 0
+
+
+@dataclass
+class Call:
+    func: Any                 # Ident | Selector | FuncLit value
+    args: list[Any]
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str                   # - ! <-
+    operand: Any
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str
+    left: Any
+    right: Any
+    line: int = 0
+
+
+@dataclass
+class FuncLit:
+    """``func(params) ret { body }`` — a closure literal."""
+
+    params: list[tuple[str, TypeName]]
+    ret: TypeName | None
+    body: list[Any]
+    line: int = 0
+
+
+@dataclass
+class WithExpr:
+    """``with "policy" func(...) ... { ... }`` — an enclosure (§2.2)."""
+
+    policy: str
+    fn: FuncLit
+    line: int = 0
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type: TypeName | None
+    value: Any | None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    """``target = value`` or short declaration ``target := value``."""
+
+    target: Any               # Ident | Selector | Index
+    value: Any
+    declare: bool = False
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Any
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Any | None
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Any
+    then: list[Any]
+    orelse: list[Any]
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: Any | None
+    cond: Any | None
+    post: Any | None
+    body: list[Any]
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class Go:
+    call: Call
+    line: int = 0
+
+
+@dataclass
+class Send:
+    """``ch <- value``."""
+
+    chan: Any
+    value: Any
+    line: int = 0
+
+
+# ---------------------------------------------------------------- declarations
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: list[tuple[str, TypeName]]
+    ret: TypeName | None
+    body: list[Any]
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: TypeName | None
+    value: Any | None
+    line: int = 0
+
+
+@dataclass
+class ConstDecl:
+    name: str
+    value: Any
+    line: int = 0
+
+
+@dataclass
+class StructDecl:
+    name: str
+    fields: list[tuple[str, TypeName]]
+    line: int = 0
+
+
+@dataclass
+class SourceFile:
+    package: str
+    imports: list[str]
+    funcs: list[FuncDecl] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+    consts: list[ConstDecl] = field(default_factory=list)
+    structs: list[StructDecl] = field(default_factory=list)

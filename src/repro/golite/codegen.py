@@ -1,0 +1,1080 @@
+"""Typed code generator for Golite.
+
+A single pass per function performs type checking and emits stack-ISA
+instructions.  This is where the paper's compiler duties happen
+(§5.1): enclosure policies are parsed and validated at compile time,
+the "type checker" records each enclosure's direct dependencies
+(``refs``), allocator calls are augmented with the caller's package
+identifier, and Prolog/Epilog call sequences are inserted into each
+enclosure's thunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.enclosure import EnclosureSpec
+from repro.core.policy import parse_policy
+from repro.errors import CompileError
+from repro.golite import ast_nodes as ast
+from repro.golite.types import (
+    BOOL,
+    BYTE,
+    INT,
+    STRING,
+    StructInfo,
+    Type,
+    assignable,
+    comparable,
+    elem_size,
+    is_numeric,
+)
+from repro.image.elf import CodeObject, FuncDef
+from repro.isa.asm import Asm
+from repro.isa.instr import Instr, SymRef
+from repro.isa.opcodes import Hook, Op
+from repro.runtime.runtime import RT
+
+_ARITH = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.MOD,
+          "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<<": Op.SHL, ">>": Op.SHR}
+_CMP = {"==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE, ">": Op.GT,
+        ">=": Op.GE}
+
+BUILTINS = frozenset({
+    "len", "cap", "append", "make", "new", "close", "println", "print",
+    "itoa", "atoi", "string", "bytes", "syscall", "dataptr", "strptr",
+    "panic", "copy", "peek", "poke",
+})
+
+
+@dataclass
+class ProgramInfo:
+    """Whole-program registries shared across package compilers."""
+
+    structs: dict[str, StructInfo] = field(default_factory=dict)
+    funcs: dict[str, Type] = field(default_factory=dict)
+    globals: dict[str, Type] = field(default_factory=dict)
+    consts: dict[str, tuple[Type, int | str]] = field(default_factory=dict)
+    packages: dict[str, ast.SourceFile] = field(default_factory=dict)
+
+    def resolve_type(self, tn: ast.TypeName | None) -> Type | None:
+        if tn is None:
+            return None
+        if tn.kind in ("int", "byte", "bool", "string"):
+            return {"int": INT, "byte": BYTE, "bool": BOOL,
+                    "string": STRING}[tn.kind]
+        if tn.kind == "slice":
+            return Type("slice", elem=self.resolve_type(tn.elem))
+        if tn.kind == "chan":
+            return Type("chan", elem=self.resolve_type(tn.elem))
+        if tn.kind == "func":
+            params = tuple(self.resolve_type(p) for p in tn.params)
+            return Type("func", params=params, ret=self.resolve_type(tn.ret))
+        if tn.kind == "ptr":
+            inner = tn.elem
+            if inner.kind != "named":
+                raise CompileError("pointers must point to struct types")
+            struct = self.structs.get(inner.name)
+            if struct is None:
+                raise CompileError(f"unknown struct type {inner.name!r}")
+            return Type("ptr", struct=struct)
+        if tn.kind == "named":
+            if tn.name in self.structs:
+                raise CompileError(
+                    f"struct {tn.name!r} must be used as *{tn.name} "
+                    "(Golite structs are reference types)")
+            raise CompileError(f"unknown type {tn.name!r}")
+        raise CompileError(f"unsupported type kind {tn.kind!r}")
+
+
+class PackageCompiler:
+    """Compiles one package into a :class:`CodeObject`."""
+
+    def __init__(self, prog: ProgramInfo, file: ast.SourceFile, loc: int):
+        self.prog = prog
+        self.file = file
+        self.pkg = file.package
+        self.imports = {path.split("/")[-1] for path in file.imports}
+        self.code = CodeObject(name=self.pkg,
+                               imports=tuple(sorted(self.imports)), loc=loc)
+        self._literals: dict[str, str] = {}
+        self._lit_seq = 0
+        self._clo_seq = 0
+        self._encl_seq = 0
+
+    # -- literals -----------------------------------------------------------
+
+    def literal(self, text: str, enclosure: str | None = None) -> SymRef:
+        """Intern a string literal.
+
+        Literals referenced from an enclosure body live in the
+        enclosure's own rodata (the closure is its own unit of
+        resources), so using a literal does not pull the declaring
+        package into the memory view.
+        """
+        prefix = f"encl.{enclosure}" if enclosure else self.pkg
+        key = (prefix, text)
+        sym = self._literals.get(key)
+        if sym is None:
+            sym = f"{prefix}.lit{self._lit_seq}"
+            self._lit_seq += 1
+            data = text.encode()
+            self.code.rodata[sym] = len(data).to_bytes(8, "little") + data
+            self._literals[key] = sym
+        return SymRef(sym)
+
+    # -- top level ------------------------------------------------------------
+
+    def compile_functions(self) -> None:
+        for decl in self.file.funcs:
+            fc = FuncCompiler(self, decl.params, decl.ret, name=decl.name)
+            instrs = fc.compile_body(decl.body)
+            self.code.functions.append(
+                FuncDef(f"{self.pkg}.{decl.name}", instrs))
+
+    def synth_init(self) -> bool:
+        """Package init function running global initializers (§5.1)."""
+        inits = [g for g in self.file.globals if g.value is not None]
+        if not inits:
+            return False
+        body = [ast.Assign(ast.Ident(g.name, g.line), g.value, line=g.line)
+                for g in inits]
+        fc = FuncCompiler(self, [], None, name="init")
+        instrs = fc.compile_body(body)
+        self.code.functions.append(FuncDef(f"{self.pkg}.init", instrs))
+        return True
+
+
+class FuncCompiler:
+    """Compiles one function (or closure body)."""
+
+    def __init__(self, pc: PackageCompiler, params, ret_tn,
+                 name: str = "", parent: "FuncCompiler | None" = None,
+                 refs: set[str] | None = None):
+        self.pc = pc
+        self.prog = pc.prog
+        self.name = name
+        self.parent = parent
+        self.asm = Asm()
+        self.scopes: list[dict[str, tuple[int, Type]]] = [{}]
+        self.nlocals = 0
+        self.ret_type = pc.prog.resolve_type(ret_tn) if ret_tn else None
+        self.loop_stack: list[tuple] = []
+        #: Packages referenced by this body; collected for the enclosing
+        #: enclosure's `.rstrct` entry (None outside enclosures).
+        self.refs = refs
+        #: Enclosure whose rodata pool owns this body's literals.
+        self.encl_name: str | None = None
+        # Parameters occupy the first local slots.
+        self.params: list[tuple[str, Type]] = []
+        for pname, ptn in params:
+            ptype = pc.prog.resolve_type(ptn)
+            self.params.append((pname, ptype))
+            self.declare(pname, ptype)
+        self.nargs = len(self.params)
+        self.env_slot: int | None = None
+        if parent is not None:
+            # Closures receive the record pointer as a hidden last arg.
+            self.env_slot = self.new_slot()
+            self.nargs += 1
+        self.captures: list[tuple[str, Type]] = []
+        self._capture_index: dict[str, int] = {}
+
+    # -- scope plumbing ---------------------------------------------------------
+
+    def new_slot(self) -> int:
+        slot = self.nlocals
+        self.nlocals += 1
+        return slot
+
+    def declare(self, name: str, vtype: Type) -> int:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CompileError(f"{name!r} redeclared in this block")
+        slot = self.new_slot()
+        scope[name] = (slot, vtype)
+        return slot
+
+    def lookup_local(self, name: str) -> tuple[int, Type] | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def capture(self, name: str) -> tuple[int, Type] | None:
+        """Resolve ``name`` against enclosing functions, capturing it."""
+        if name in self._capture_index:
+            index = self._capture_index[name]
+            return index, self.captures[index][1]
+        parent = self.parent
+        if parent is None:
+            return None
+        found = parent.lookup_local(name)
+        if found is None and parent.parent is not None:
+            outer = parent.capture(name)
+            found = None if outer is None else (None, outer[1])
+        if found is None:
+            return None
+        vtype = found[1]
+        index = len(self.captures)
+        self.captures.append((name, vtype))
+        self._capture_index[name] = index
+        return index, vtype
+
+    def note_ref(self, pkg: str) -> None:
+        if self.refs is not None:
+            self.refs.add(pkg)
+
+    # -- body ----------------------------------------------------------------------
+
+    def compile_body(self, body: list) -> list[Instr]:
+        self.asm.emit(Op.ENTER, 0, 0)  # patched below
+        self.compile_stmts(body)
+        self.emit_return_default()
+        instrs = self.asm.finish()
+        instrs[0] = Instr(Op.ENTER, self.nargs, max(self.nlocals, self.nargs))
+        return instrs
+
+    def emit_return_default(self) -> None:
+        self.asm.emit(Op.PUSH, 0)
+        self.asm.emit(Op.RET)
+
+    def compile_stmts(self, stmts: list) -> None:
+        self.scopes.append({})
+        for stmt in stmts:
+            self.compile_stmt(stmt)
+        self.scopes.pop()
+
+    # -- statements -------------------------------------------------------------------
+
+    def compile_stmt(self, stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            declared = self.prog.resolve_type(stmt.type) if stmt.type else None
+            if stmt.value is not None:
+                actual = self.compile_expr(stmt.value)
+                if declared is not None and not assignable(declared, actual):
+                    raise CompileError(
+                        f"cannot assign {actual} to {declared}", stmt.line)
+                vtype = declared or actual
+            else:
+                if declared is None:
+                    raise CompileError("var needs a type or a value",
+                                       stmt.line)
+                self.asm.emit(Op.PUSH, 0)
+                vtype = declared
+            slot = self.declare(stmt.name, vtype)
+            self.asm.emit(Op.STOREL, slot)
+        elif isinstance(stmt, ast.Assign):
+            self.compile_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.compile_expr(stmt.expr)
+            self.asm.emit(Op.DROP)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if self.ret_type is not None:
+                    raise CompileError("missing return value", stmt.line)
+                self.asm.emit(Op.PUSH, 0)
+            else:
+                if self.ret_type is None:
+                    raise CompileError("function has no return type",
+                                       stmt.line)
+                actual = self.compile_expr(stmt.value)
+                if not assignable(self.ret_type, actual):
+                    raise CompileError(
+                        f"cannot return {actual} as {self.ret_type}",
+                        stmt.line)
+            self.asm.emit(Op.RET)
+        elif isinstance(stmt, ast.If):
+            self.compile_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self.compile_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise CompileError("break outside loop", stmt.line)
+            self.asm.branch(Op.JMP, self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise CompileError("continue outside loop", stmt.line)
+            self.asm.branch(Op.JMP, self.loop_stack[-1][1])
+        elif isinstance(stmt, ast.Go):
+            self.compile_go(stmt)
+        elif isinstance(stmt, ast.Send):
+            chan_t = self.compile_expr(stmt.chan)
+            if chan_t.kind != "chan":
+                raise CompileError("send on non-channel", stmt.line)
+            value_t = self.compile_expr(stmt.value)
+            if not assignable(chan_t.elem, value_t):
+                raise CompileError(
+                    f"cannot send {value_t} on {chan_t}", stmt.line)
+            self.asm.emit(Op.RTCALL, RT.CHAN_SEND, 2)
+            self.asm.emit(Op.DROP)
+        else:
+            raise CompileError(f"unsupported statement {type(stmt).__name__}")
+
+    def compile_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if stmt.declare:
+            vtype = self.compile_expr(stmt.value)
+            if vtype.kind == "void":
+                raise CompileError("cannot assign a void value", stmt.line)
+            slot = self.declare(target.name, vtype)
+            self.asm.emit(Op.STOREL, slot)
+            return
+        if isinstance(target, ast.Ident):
+            local = self.lookup_local(target.name)
+            if local is not None:
+                slot, declared = local
+                actual = self.compile_expr(stmt.value)
+                self.check_assignable(declared, actual, stmt.line)
+                self.asm.emit(Op.STOREL, slot)
+                return
+            captured = self.capture(target.name)
+            if captured is not None:
+                index, declared = captured
+                self.emit_capture_addr(index)
+                actual = self.compile_expr(stmt.value)
+                self.check_assignable(declared, actual, stmt.line)
+                self.asm.emit(Op.STORE)
+                return
+            qualified = f"{self.pc.pkg}.{target.name}"
+            declared = self.prog.globals.get(qualified)
+            if declared is not None:
+                self.note_ref(self.pc.pkg)
+                self.asm.emit(Op.PUSH, SymRef(qualified))
+                actual = self.compile_expr(stmt.value)
+                self.check_assignable(declared, actual, stmt.line)
+                self.asm.emit(Op.STORE)
+                return
+            raise CompileError(f"undefined: {target.name}", stmt.line)
+        if isinstance(target, ast.Selector):
+            base_t, resolved = self.resolve_selector_base(target)
+            if resolved is not None:
+                # Assignment to an imported package's global.
+                kind, qualified, declared = resolved
+                if kind != "global":
+                    raise CompileError("cannot assign to this", stmt.line)
+                self.asm.emit(Op.PUSH, SymRef(qualified))
+                actual = self.compile_expr(stmt.value)
+                self.check_assignable(declared, actual, stmt.line)
+                self.asm.emit(Op.STORE)
+                return
+            if base_t.kind != "ptr":
+                raise CompileError("field assignment needs a struct pointer",
+                                   stmt.line)
+            struct = base_t.struct
+            self.asm.emit(Op.PUSH, struct.offset_of(target.field))
+            self.asm.emit(Op.ADD)
+            actual = self.compile_expr(stmt.value)
+            self.check_assignable(struct.type_of(target.field), actual,
+                                  stmt.line)
+            self.asm.emit(Op.STORE)
+            return
+        if isinstance(target, ast.Index):
+            base_t = self.compile_expr(target.base)
+            if base_t.kind != "slice":
+                raise CompileError("index assignment needs a slice",
+                                   stmt.line)
+            self.asm.emit(Op.PUSH, elem_size(base_t))
+            index_t = self.compile_expr(target.index)
+            if not is_numeric(index_t):
+                raise CompileError("slice index must be numeric", stmt.line)
+            actual = self.compile_expr(stmt.value)
+            self.check_assignable(base_t.elem, actual, stmt.line)
+            self.asm.emit(Op.RTCALL, RT.SLICE_PUT, 4)
+            self.asm.emit(Op.DROP)
+            return
+        raise CompileError("invalid assignment target", stmt.line)
+
+    def check_assignable(self, dst: Type, src: Type, line: int) -> None:
+        if not assignable(dst, src):
+            raise CompileError(f"cannot assign {src} to {dst}", line)
+
+    def compile_if(self, stmt: ast.If) -> None:
+        cond = self.compile_expr(stmt.cond)
+        if cond.kind != "bool":
+            raise CompileError("if condition must be bool", stmt.line)
+        else_label = self.asm.new_label("else")
+        end_label = self.asm.new_label("endif")
+        self.asm.branch(Op.JZ, else_label)
+        self.compile_stmts(stmt.then)
+        self.asm.branch(Op.JMP, end_label)
+        self.asm.place(else_label)
+        self.compile_stmts(stmt.orelse)
+        self.asm.place(end_label)
+
+    def compile_for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self.compile_stmt(stmt.init)
+        top = self.asm.new_label("for")
+        post_label = self.asm.new_label("post")
+        end = self.asm.new_label("endfor")
+        self.asm.place(top)
+        if stmt.cond is not None:
+            cond = self.compile_expr(stmt.cond)
+            if cond.kind != "bool":
+                raise CompileError("for condition must be bool", stmt.line)
+            self.asm.branch(Op.JZ, end)
+        self.loop_stack.append((end, post_label))
+        self.compile_stmts(stmt.body)
+        self.loop_stack.pop()
+        self.asm.place(post_label)
+        if stmt.post is not None:
+            self.compile_stmt(stmt.post)
+        self.asm.branch(Op.JMP, top)
+        self.asm.place(end)
+        self.scopes.pop()
+
+    def compile_go(self, stmt: ast.Go) -> None:
+        call = stmt.call
+        target = self.resolve_direct_function(call.func)
+        if target is None:
+            raise CompileError("go requires a named package function",
+                               stmt.line)
+        qualified, ftype = target
+        if len(call.args) != len(ftype.params):
+            raise CompileError("wrong argument count in go call", stmt.line)
+        self.asm.emit(Op.PUSH, SymRef(qualified))
+        self.asm.emit(Op.PUSH, len(call.args))
+        for arg, want in zip(call.args, ftype.params):
+            got = self.compile_expr(arg)
+            self.check_assignable(want, got, stmt.line)
+        self.asm.emit(Op.RTCALL, RT.GO, 2 + len(call.args))
+        self.asm.emit(Op.DROP)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def compile_expr(self, expr) -> Type:
+        if isinstance(expr, ast.IntLit):
+            self.asm.emit(Op.PUSH, expr.value)
+            return INT
+        if isinstance(expr, ast.BoolLit):
+            self.asm.emit(Op.PUSH, 1 if expr.value else 0)
+            return BOOL
+        if isinstance(expr, ast.StrLit):
+            self.asm.emit(Op.PUSH,
+                          self.pc.literal(expr.value, self.encl_name))
+            return STRING
+        if isinstance(expr, ast.Ident):
+            return self.compile_ident(expr)
+        if isinstance(expr, ast.Selector):
+            return self.compile_selector(expr)
+        if isinstance(expr, ast.Index):
+            return self.compile_index(expr)
+        if isinstance(expr, ast.SliceExpr):
+            return self.compile_slice_expr(expr)
+        if isinstance(expr, ast.Call):
+            return self.compile_call(expr)
+        if isinstance(expr, ast.Unary):
+            return self.compile_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.compile_binary(expr)
+        if isinstance(expr, ast.FuncLit):
+            return self.compile_funclit(expr, policy=None)
+        if isinstance(expr, ast.WithExpr):
+            return self.compile_funclit(expr.fn, policy=expr.policy)
+        raise CompileError(f"unsupported expression {type(expr).__name__}")
+
+    def compile_ident(self, expr: ast.Ident) -> Type:
+        name = expr.name
+        local = self.lookup_local(name)
+        if local is not None:
+            slot, vtype = local
+            self.asm.emit(Op.LOADL, slot)
+            return vtype
+        captured = self.capture(name)
+        if captured is not None:
+            index, vtype = captured
+            self.emit_capture_addr(index)
+            self.asm.emit(Op.LOAD)
+            return vtype
+        return self.compile_package_member(self.pc.pkg, name, expr.line,
+                                           check_export=False)
+
+    def emit_capture_addr(self, index: int) -> None:
+        self.asm.emit(Op.LOADL, self.env_slot)
+        self.asm.emit(Op.PUSH, 16 + 8 * index)
+        self.asm.emit(Op.ADD)
+
+    def compile_package_member(self, pkg: str, name: str, line: int,
+                               check_export: bool) -> Type:
+        if check_export and not name[0].isupper():
+            raise CompileError(
+                f"{pkg}.{name} is unexported", line)
+        qualified = f"{pkg}.{name}"
+        if qualified in self.prog.consts:
+            ctype, cvalue = self.prog.consts[qualified]
+            if ctype.kind == "string":
+                # Const strings are interned at the use site, so they do
+                # not extend the user's memory view.
+                self.asm.emit(Op.PUSH,
+                              self.pc.literal(cvalue, self.encl_name))
+            else:
+                self.asm.emit(Op.PUSH, cvalue)
+            return ctype
+        if qualified in self.prog.globals:
+            self.note_ref(pkg)
+            self.asm.emit(Op.PUSH, SymRef(qualified))
+            self.asm.emit(Op.LOAD)
+            return self.prog.globals[qualified]
+        if qualified in self.prog.funcs:
+            raise CompileError(
+                f"{qualified} is a function; call it or use go", line)
+        raise CompileError(f"undefined: {qualified}", line)
+
+    def resolve_selector_base(self, expr: ast.Selector):
+        """If the selector base is an imported package name, return the
+        member resolution; otherwise compile the base expression."""
+        if isinstance(expr.base, ast.Ident) and \
+                self.lookup_local(expr.base.name) is None and \
+                expr.base.name in self.pc.imports:
+            pkg = expr.base.name
+            if not expr.field[0].isupper():
+                raise CompileError(
+                    f"{pkg}.{expr.field} is unexported", expr.line)
+            qualified = f"{pkg}.{expr.field}"
+            if qualified in self.prog.funcs:
+                return None, ("func", qualified, self.prog.funcs[qualified])
+            if qualified in self.prog.globals:
+                return None, ("global", qualified,
+                              self.prog.globals[qualified])
+            if qualified in self.prog.consts:
+                return None, ("const", qualified, None)
+            raise CompileError(f"undefined: {qualified}", expr.line)
+        return self.compile_expr(expr.base), None
+
+    def compile_selector(self, expr: ast.Selector) -> Type:
+        base_t, resolved = self.resolve_selector_base(expr)
+        if resolved is not None:
+            kind, qualified, _ = resolved
+            pkg = qualified.split(".", 1)[0]
+            self.note_ref(pkg)
+            if kind == "global":
+                self.asm.emit(Op.PUSH, SymRef(qualified))
+                self.asm.emit(Op.LOAD)
+                return self.prog.globals[qualified]
+            if kind == "const":
+                name = qualified.split(".", 1)[1]
+                return self.compile_package_member(pkg, name, expr.line,
+                                                   check_export=True)
+            raise CompileError(
+                f"{qualified} is a function; call it", expr.line)
+        if base_t.kind != "ptr":
+            raise CompileError("field access needs a struct pointer",
+                               expr.line)
+        struct = base_t.struct
+        self.asm.emit(Op.PUSH, struct.offset_of(expr.field))
+        self.asm.emit(Op.ADD)
+        self.asm.emit(Op.LOAD)
+        return struct.type_of(expr.field)
+
+    def compile_index(self, expr: ast.Index) -> Type:
+        base_t = self.compile_expr(expr.base)
+        if base_t.kind == "string":
+            index_t = self.compile_expr(expr.index)
+            if not is_numeric(index_t):
+                raise CompileError("string index must be numeric", expr.line)
+            self.asm.emit(Op.RTCALL, RT.STR_AT, 2)
+            return BYTE
+        if base_t.kind == "slice":
+            self.asm.emit(Op.PUSH, elem_size(base_t))
+            index_t = self.compile_expr(expr.index)
+            if not is_numeric(index_t):
+                raise CompileError("slice index must be numeric", expr.line)
+            self.asm.emit(Op.RTCALL, RT.SLICE_AT, 3)
+            return base_t.elem
+        raise CompileError(f"cannot index {base_t}", expr.line)
+
+    def compile_slice_expr(self, expr: ast.SliceExpr) -> Type:
+        # Strings only: s[lo:hi] -> STR_SUB(pkgid, s, lo, hi).
+        temp = self.new_slot()
+        base_t = self.compile_expr(expr.base)
+        if base_t.kind != "string":
+            raise CompileError("slicing is supported on strings", expr.line)
+        self.asm.emit(Op.STOREL, temp)
+        self.asm.emit(Op.PUSH, self.pkgid())
+        self.asm.emit(Op.LOADL, temp)
+        lo_t = self.compile_expr(expr.lo)
+        if not is_numeric(lo_t):
+            raise CompileError("slice bound must be numeric", expr.line)
+        if expr.hi is None:
+            self.asm.emit(Op.LOADL, temp)
+            self.asm.emit(Op.LOAD)  # len(s)
+        else:
+            hi_t = self.compile_expr(expr.hi)
+            if not is_numeric(hi_t):
+                raise CompileError("slice bound must be numeric", expr.line)
+        self.asm.emit(Op.RTCALL, RT.STR_SUB, 4)
+        return STRING
+
+    def pkgid(self, pkg: str | None = None) -> SymRef:
+        """Package identifier for allocator instrumentation (§5.1).
+
+        Code compiled into an enclosure body allocates from the
+        enclosure's own arena (Figure 2 places ``inv`` in rcl's arena),
+        not the declaring package's.
+        """
+        if pkg is None:
+            pkg = f"encl.{self.encl_name}" if self.encl_name else self.pc.pkg
+        return SymRef(f"pkgid:{pkg}")
+
+    # -- calls ------------------------------------------------------------------------
+
+    def resolve_direct_function(self, func) -> tuple[str, Type] | None:
+        """Resolve a call target to a package-level function symbol."""
+        if isinstance(func, ast.Ident):
+            if self.lookup_local(func.name) or func.name in BUILTINS:
+                return None
+            qualified = f"{self.pc.pkg}.{func.name}"
+            if qualified in self.prog.funcs:
+                self.note_ref(self.pc.pkg)
+                return qualified, self.prog.funcs[qualified]
+            return None
+        if isinstance(func, ast.Selector) and \
+                isinstance(func.base, ast.Ident) and \
+                self.lookup_local(func.base.name) is None and \
+                func.base.name in self.pc.imports:
+            qualified = f"{func.base.name}.{func.field}"
+            if not func.field[0].isupper():
+                raise CompileError(f"{qualified} is unexported", func.line)
+            if qualified in self.prog.funcs:
+                self.note_ref(func.base.name)
+                return qualified, self.prog.funcs[qualified]
+        return None
+
+    def compile_call(self, expr: ast.Call) -> Type:
+        if isinstance(expr.func, ast.Ident) and \
+                expr.func.name in BUILTINS and \
+                self.lookup_local(expr.func.name) is None:
+            return self.compile_builtin(expr)
+        direct = self.resolve_direct_function(expr.func)
+        if direct is not None:
+            qualified, ftype = direct
+            self.check_args(expr, ftype)
+            self.asm.emit(Op.CALL, SymRef(qualified))
+            return ftype.ret or Type("void")
+        # Indirect: a closure / func-typed value.
+        ftype = self.compile_closure_value(expr.func)
+        if ftype.kind != "func":
+            raise CompileError(f"cannot call {ftype}", expr.line)
+        # Args go under the closure pointer: compile args first requires
+        # the pointer last, so stash it in a temp.
+        temp = self.new_slot()
+        self.asm.emit(Op.STOREL, temp)
+        self.check_args(expr, ftype)
+        self.asm.emit(Op.LOADL, temp)
+        self.asm.emit(Op.CALLCLO, 0, len(expr.args))
+        return ftype.ret or Type("void")
+
+    def compile_closure_value(self, func) -> Type:
+        return self.compile_expr(func)
+
+    def check_args(self, expr: ast.Call, ftype: Type) -> None:
+        if len(expr.args) != len(ftype.params):
+            raise CompileError(
+                f"call needs {len(ftype.params)} args, got {len(expr.args)}",
+                expr.line)
+        for arg, want in zip(expr.args, ftype.params):
+            got = self.compile_expr(arg)
+            self.check_assignable(want, got, expr.line)
+
+    # -- builtins ----------------------------------------------------------------------
+
+    def compile_builtin(self, expr: ast.Call) -> Type:
+        name = expr.func.name
+        args = expr.args
+        line = expr.line
+
+        def need(count: int) -> None:
+            if len(args) != count:
+                raise CompileError(f"{name} needs {count} args", line)
+
+        if name == "len":
+            need(1)
+            t = self.compile_expr(args[0])
+            if t.kind == "string":
+                self.asm.emit(Op.LOAD)
+            elif t.kind == "slice":
+                self.asm.emit(Op.PUSH, 8)
+                self.asm.emit(Op.ADD)
+                self.asm.emit(Op.LOAD)
+            elif t.kind == "chan":
+                self.asm.emit(Op.RTCALL, RT.CHAN_LEN, 1)
+            else:
+                raise CompileError(f"len of {t}", line)
+            return INT
+        if name == "cap":
+            need(1)
+            t = self.compile_expr(args[0])
+            if t.kind != "slice":
+                raise CompileError(f"cap of {t}", line)
+            self.asm.emit(Op.PUSH, 16)
+            self.asm.emit(Op.ADD)
+            self.asm.emit(Op.LOAD)
+            return INT
+        if name == "append":
+            need(2)
+            self.asm.emit(Op.PUSH, self.pkgid())
+            t = self.compile_expr(args[0])
+            if t.kind != "slice":
+                raise CompileError("append needs a slice", line)
+            self.asm.emit(Op.PUSH, elem_size(t))
+            got = self.compile_expr(args[1])
+            self.check_assignable(t.elem, got, line)
+            self.asm.emit(Op.RTCALL, RT.SLICE_APPEND, 4)
+            return t
+        if name == "make":
+            return self.compile_make(expr)
+        if name == "new":
+            need(1)
+            tn = args[0]
+            if not isinstance(tn, ast.Ident) or tn.name not in \
+                    self.prog.structs:
+                raise CompileError("new(T) needs a struct type", line)
+            struct = self.prog.structs[tn.name]
+            self.asm.emit(Op.PUSH, self.pkgid())
+            self.asm.emit(Op.PUSH, struct.size)
+            self.asm.emit(Op.RTCALL, RT.ALLOC, 2)
+            return Type("ptr", struct=struct)
+        if name == "close":
+            need(1)
+            t = self.compile_expr(args[0])
+            if t.kind != "chan":
+                raise CompileError("close needs a channel", line)
+            self.asm.emit(Op.RTCALL, RT.CHAN_CLOSE, 1)
+            return Type("void")
+        if name in ("println", "print"):
+            return self.compile_println(expr, newline=name == "println")
+        if name == "itoa":
+            need(1)
+            self.asm.emit(Op.PUSH, self.pkgid())
+            t = self.compile_expr(args[0])
+            if not is_numeric(t):
+                raise CompileError("itoa needs an int", line)
+            self.asm.emit(Op.RTCALL, RT.ITOA, 2)
+            return STRING
+        if name == "atoi":
+            need(1)
+            t = self.compile_expr(args[0])
+            if t.kind != "string":
+                raise CompileError("atoi needs a string", line)
+            self.asm.emit(Op.RTCALL, RT.ATOI, 1)
+            return INT
+        if name == "string":
+            need(1)
+            self.asm.emit(Op.PUSH, self.pkgid())
+            t = self.compile_expr(args[0])
+            if t.kind == "slice" and t.elem.kind == "byte":
+                self.asm.emit(Op.RTCALL, RT.STR_FROM_SLICE, 2)
+                return STRING
+            raise CompileError("string() needs a []byte", line)
+        if name == "bytes":
+            need(1)
+            self.asm.emit(Op.PUSH, self.pkgid())
+            t = self.compile_expr(args[0])
+            if t.kind != "string":
+                raise CompileError("bytes() needs a string", line)
+            self.asm.emit(Op.RTCALL, RT.SLICE_FROM_STR, 2)
+            return Type("slice", elem=BYTE)
+        if name == "copy":
+            need(2)
+            dst = self.compile_expr(args[0])
+            src = self.compile_expr(args[1])
+            if dst.kind != "slice" or src.kind != "slice":
+                raise CompileError("copy needs slices", line)
+            self.asm.emit(Op.PUSH, elem_size(dst))
+            self.asm.emit(Op.RTCALL, RT.SLICE_COPY, 3)
+            return INT
+        if name == "syscall":
+            if not args:
+                raise CompileError("syscall needs a number", line)
+            for arg in args[1:]:
+                t = self.compile_expr(arg)
+                if not is_numeric(t):
+                    raise CompileError("syscall args must be ints", line)
+            t = self.compile_expr(args[0])
+            if not is_numeric(t):
+                raise CompileError("syscall number must be an int", line)
+            self.asm.emit(Op.SYSCALL, len(args) - 1)
+            return INT
+        if name == "dataptr":
+            need(1)
+            t = self.compile_expr(args[0])
+            if t.kind != "slice":
+                raise CompileError("dataptr needs a slice", line)
+            self.asm.emit(Op.LOAD)
+            return INT
+        if name == "strptr":
+            need(1)
+            t = self.compile_expr(args[0])
+            if t.kind != "string":
+                raise CompileError("strptr needs a string", line)
+            self.asm.emit(Op.PUSH, 8)
+            self.asm.emit(Op.ADD)
+            return INT
+        if name == "peek":
+            # Raw memory read — untrusted code "can access raw memory"
+            # (§2.3); the MMU still enforces the active memory view.
+            need(1)
+            t = self.compile_expr(args[0])
+            if not is_numeric(t):
+                raise CompileError("peek needs an address", line)
+            self.asm.emit(Op.LOAD)
+            return INT
+        if name == "poke":
+            need(2)
+            t = self.compile_expr(args[0])
+            if not is_numeric(t):
+                raise CompileError("poke needs an address", line)
+            v = self.compile_expr(args[1])
+            if not is_numeric(v):
+                raise CompileError("poke needs an int value", line)
+            self.asm.emit(Op.STORE)
+            self.asm.emit(Op.PUSH, 0)
+            return INT
+        if name == "panic":
+            need(1)
+            t = self.compile_expr(args[0])
+            if not is_numeric(t):
+                raise CompileError("panic needs an int code", line)
+            self.asm.emit(Op.RTCALL, RT.PANIC, 1)
+            return Type("void")
+        raise CompileError(f"unknown builtin {name!r}", line)
+
+    def compile_make(self, expr: ast.Call) -> Type:
+        args = expr.args
+        if not args:
+            raise CompileError("make needs a type", expr.line)
+        tn = args[0]
+        made = self._type_arg(tn, expr.line)
+        if made.kind == "chan":
+            cap_args = args[1:]
+            if cap_args:
+                t = self.compile_expr(cap_args[0])
+                if not is_numeric(t):
+                    raise CompileError("chan capacity must be an int",
+                                       expr.line)
+            else:
+                self.asm.emit(Op.PUSH, 0)
+            self.asm.emit(Op.RTCALL, RT.CHAN_NEW, 1)
+            return made
+        if made.kind == "slice":
+            if len(args) not in (2, 3):
+                raise CompileError("make([]T, len[, cap])", expr.line)
+            self.asm.emit(Op.PUSH, self.pkgid())
+            self.asm.emit(Op.PUSH, 1 if made.elem.kind == "byte" else 8)
+            t = self.compile_expr(args[1])
+            if not is_numeric(t):
+                raise CompileError("slice length must be an int", expr.line)
+            if len(args) == 3:
+                t = self.compile_expr(args[2])
+                if not is_numeric(t):
+                    raise CompileError("slice cap must be an int", expr.line)
+            else:
+                self.asm.emit(Op.DUP)  # cap = len
+            self.asm.emit(Op.RTCALL, RT.SLICE_NEW, 4)
+            return made
+        raise CompileError(f"cannot make {made}", expr.line)
+
+    def _type_arg(self, node, line: int) -> Type:
+        """Interpret an expression-position AST node as a type."""
+        tn = _expr_to_typename(node)
+        if tn is None:
+            raise CompileError("expected a type argument", line)
+        return self.prog.resolve_type(tn)
+
+    def compile_println(self, expr: ast.Call, newline: bool) -> Type:
+        first = True
+        for arg in expr.args:
+            if not first:
+                self._print_literal(" ")
+            first = False
+            t = self.compile_expr(arg)
+            if t.kind in ("int", "byte", "bool", "ptr", "chan", "func"):
+                # Integer-like: render through itoa.
+                self.asm.emit(Op.PUSH, self.pkgid())
+                self.asm.emit(Op.SWAP)
+                self.asm.emit(Op.RTCALL, RT.ITOA, 2)
+            elif t.kind != "string":
+                raise CompileError(f"cannot print {t}", expr.line)
+            self.asm.emit(Op.RTCALL, RT.PRINT, 1)
+            self.asm.emit(Op.DROP)
+        if newline:
+            self._print_literal("\n")
+        self.asm.emit(Op.PUSH, 0)  # println is void; value dropped by caller
+        return Type("void")
+
+    def _print_literal(self, text: str) -> None:
+        self.asm.emit(Op.PUSH, self.pc.literal(text, self.encl_name))
+        self.asm.emit(Op.RTCALL, RT.PRINT, 1)
+        self.asm.emit(Op.DROP)
+
+    # -- operators ---------------------------------------------------------------------
+
+    def compile_unary(self, expr: ast.Unary) -> Type:
+        if expr.op == "<-":
+            t = self.compile_expr(expr.operand)
+            if t.kind != "chan":
+                raise CompileError("receive from non-channel", expr.line)
+            self.asm.emit(Op.RTCALL, RT.CHAN_RECV, 1)
+            return t.elem
+        t = self.compile_expr(expr.operand)
+        if expr.op == "-":
+            if not is_numeric(t):
+                raise CompileError(f"cannot negate {t}", expr.line)
+            self.asm.emit(Op.NEG)
+            return INT
+        if expr.op == "!":
+            if t.kind != "bool":
+                raise CompileError("! needs a bool", expr.line)
+            self.asm.emit(Op.NOT)
+            return BOOL
+        raise CompileError(f"unsupported unary {expr.op}", expr.line)
+
+    def compile_binary(self, expr: ast.Binary) -> Type:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self.compile_expr(expr.left)
+            if left.kind != "bool":
+                raise CompileError(f"{op} needs bools", expr.line)
+            end = self.asm.new_label("sc")
+            self.asm.emit(Op.DUP)
+            self.asm.branch(Op.JZ if op == "&&" else Op.JNZ, end)
+            self.asm.emit(Op.DROP)
+            right = self.compile_expr(expr.right)
+            if right.kind != "bool":
+                raise CompileError(f"{op} needs bools", expr.line)
+            self.asm.place(end)
+            return BOOL
+
+        left = self.compile_expr(expr.left)
+        if left.kind == "string":
+            return self._compile_string_binary(expr, op)
+        right = self.compile_expr(expr.right)
+        if op in _CMP:
+            if not comparable(left, right):
+                raise CompileError(f"cannot compare {left} and {right}",
+                                   expr.line)
+            if op not in ("==", "!=") and not is_numeric(left):
+                raise CompileError(f"ordered comparison of {left}",
+                                   expr.line)
+            self.asm.emit(_CMP[op])
+            return BOOL
+        if op in _ARITH:
+            if not (is_numeric(left) and is_numeric(right)):
+                raise CompileError(f"arithmetic on {left} and {right}",
+                                   expr.line)
+            self.asm.emit(_ARITH[op])
+            return INT
+        raise CompileError(f"unsupported operator {op}", expr.line)
+
+    def _compile_string_binary(self, expr: ast.Binary, op: str) -> Type:
+        # Left string already on the stack.
+        if op == "+":
+            temp = self.new_slot()
+            self.asm.emit(Op.STOREL, temp)
+            self.asm.emit(Op.PUSH, self.pkgid())
+            self.asm.emit(Op.LOADL, temp)
+            right = self.compile_expr(expr.right)
+            if right.kind != "string":
+                raise CompileError("string + needs a string", expr.line)
+            self.asm.emit(Op.RTCALL, RT.STR_CONCAT, 3)
+            return STRING
+        right = self.compile_expr(expr.right)
+        if right.kind != "string":
+            raise CompileError(f"string {op} needs a string", expr.line)
+        if op == "==":
+            self.asm.emit(Op.RTCALL, RT.STR_EQ, 2)
+            return BOOL
+        if op == "!=":
+            self.asm.emit(Op.RTCALL, RT.STR_EQ, 2)
+            self.asm.emit(Op.NOT)
+            return BOOL
+        if op in ("<", "<=", ">", ">="):
+            self.asm.emit(Op.RTCALL, RT.STR_CMP, 2)
+            self.asm.emit(Op.PUSH, 0)
+            self.asm.emit(_CMP[op])
+            return BOOL
+        raise CompileError(f"unsupported string operator {op}", expr.line)
+
+    # -- closures and enclosures ----------------------------------------------------------
+
+    def compile_funclit(self, fl: ast.FuncLit, policy: str | None) -> Type:
+        pc = self.pc
+        spec = None
+        if policy is not None:
+            parsed = parse_policy(policy)  # compile-time validation (§5.1)
+            pc._encl_seq += 1
+            ename = f"{pc.pkg}_{pc._encl_seq}"
+            body_name = f"encl.{ename}.body"
+            record_pkg = f"encl.{ename}"
+            enclosure = ename
+            refs: set[str] | None = set()
+            spec = EnclosureSpec(id=0, name=ename, owner=pc.pkg,
+                                 policy=parsed,
+                                 thunk_symbol=f"encl.{ename}.thunk",
+                                 body_symbol=body_name)
+        else:
+            pc._clo_seq += 1
+            body_name = f"{pc.pkg}.$clo{pc._clo_seq}"
+            record_pkg = f"encl.{self.encl_name}" if self.encl_name \
+                else pc.pkg
+            enclosure = self.encl_name
+            refs = self.refs  # nested closures feed the enclosing enclosure
+
+        sub = FuncCompiler(pc, fl.params, fl.ret, name=body_name,
+                           parent=self, refs=refs)
+        sub.encl_name = ename if policy is not None else self.encl_name
+        body_instrs = sub.compile_body(fl.body)
+        pc.code.functions.append(
+            FuncDef(body_name, body_instrs, enclosure=enclosure))
+
+        code_symbol = body_name
+        if spec is not None:
+            spec.refs = tuple(sorted(refs))
+            thunk = [
+                Instr(Op.PUSH, SymRef(f"encl:{spec.name}")),
+                Instr(Op.LBCALL, Hook.PROLOG, 1),
+                Instr(Op.DROP),
+                Instr(Op.CALL, SymRef(body_name)),
+                Instr(Op.LBCALL, Hook.EPILOG, 0),
+                Instr(Op.DROP),
+                Instr(Op.RET),
+            ]
+            pc.code.functions.append(
+                FuncDef(spec.thunk_symbol, thunk, enclosure=spec.name))
+            pc.code.enclosures.append(spec)
+            code_symbol = spec.thunk_symbol
+
+        # Creation code: allocate and fill the closure record.
+        self.asm.emit(Op.PUSH, self.pkgid(record_pkg))
+        self.asm.emit(Op.PUSH, 16 + 8 * len(sub.captures))
+        self.asm.emit(Op.RTCALL, RT.ALLOC, 2)
+        self.asm.emit(Op.DUP)
+        self.asm.emit(Op.PUSH, SymRef(code_symbol))
+        self.asm.emit(Op.STORE)
+        self.asm.emit(Op.DUP)
+        self.asm.emit(Op.PUSH, 8)
+        self.asm.emit(Op.ADD)
+        self.asm.emit(Op.PUSH, len(sub.captures))
+        self.asm.emit(Op.STORE)
+        for index, (cname, _) in enumerate(sub.captures):
+            self.asm.emit(Op.DUP)
+            self.asm.emit(Op.PUSH, 16 + 8 * index)
+            self.asm.emit(Op.ADD)
+            self.compile_ident(ast.Ident(cname, fl.line))
+            self.asm.emit(Op.STORE)
+
+        params = tuple(p for _, p in sub.params)
+        return Type("func", params=params, ret=sub.ret_type)
+
+
+def _expr_to_typename(node) -> ast.TypeName | None:
+    """Re-interpret a parsed expression as a type (for make/new args)."""
+    if isinstance(node, ast.TypeName):
+        return node
+    if isinstance(node, ast.Ident):
+        if node.name in ("int", "byte", "bool", "string"):
+            return ast.TypeName(node.name)
+        return ast.TypeName("named", name=node.name)
+    return None

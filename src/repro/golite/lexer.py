@@ -1,0 +1,134 @@
+"""Lexer for Golite, with Go-style automatic semicolon insertion."""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.golite.tokens import (
+    ASI_AFTER_KINDS,
+    ASI_AFTER_VALUES,
+    KEYWORDS,
+    OPERATORS,
+    Token,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "0": "\0"}
+
+
+def lex(source: str) -> list[Token]:
+    """Tokenize one source file."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    size = len(source)
+
+    def last() -> Token | None:
+        return tokens[-1] if tokens else None
+
+    def maybe_asi() -> None:
+        prev = last()
+        if prev is None or prev.value == ";":
+            return
+        if prev.kind in ASI_AFTER_KINDS or prev.value in ASI_AFTER_VALUES:
+            tokens.append(Token("OP", ";", line))
+
+    while pos < size:
+        ch = source[pos]
+        if ch == "\n":
+            maybe_asi()
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = size if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            base = 10
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < size and (source[pos].isdigit()
+                                      or source[pos] in "abcdefABCDEF"):
+                    pos += 1
+                base = 16
+            else:
+                while pos < size and source[pos].isdigit():
+                    pos += 1
+            text = source[start:pos]
+            tokens.append(Token("INT", str(int(text, base)), line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < size and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            word = source[start:pos]
+            if word in KEYWORDS:
+                tokens.append(Token("KEYWORD", word, line))
+            else:
+                tokens.append(Token("IDENT", word, line))
+            continue
+        if ch == '"':
+            pos += 1
+            out: list[str] = []
+            while pos < size and source[pos] != '"':
+                c = source[pos]
+                if c == "\n":
+                    raise CompileError("unterminated string literal", line)
+                if c == "\\":
+                    pos += 1
+                    if pos >= size:
+                        raise CompileError("bad escape", line)
+                    esc = source[pos]
+                    if esc == "x":
+                        out.append(chr(int(source[pos + 1:pos + 3], 16)))
+                        pos += 2
+                    elif esc in _ESCAPES:
+                        out.append(_ESCAPES[esc])
+                    else:
+                        raise CompileError(f"bad escape \\{esc}", line)
+                else:
+                    out.append(c)
+                pos += 1
+            if pos >= size:
+                raise CompileError("unterminated string literal", line)
+            pos += 1
+            tokens.append(Token("STRING", "".join(out), line))
+            continue
+        if ch == "'":
+            # Character literal -> INT token.
+            pos += 1
+            if pos < size and source[pos] == "\\":
+                esc = source[pos + 1]
+                if esc not in _ESCAPES:
+                    raise CompileError(f"bad escape \\{esc}", line)
+                value = ord(_ESCAPES[esc])
+                pos += 2
+            else:
+                value = ord(source[pos])
+                pos += 1
+            if pos >= size or source[pos] != "'":
+                raise CompileError("unterminated char literal", line)
+            pos += 1
+            tokens.append(Token("INT", str(value), line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("OP", op, line))
+                pos += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+
+    maybe_asi()
+    tokens.append(Token("EOF", "", line))
+    return tokens

@@ -1,0 +1,426 @@
+"""Recursive-descent parser for Golite.
+
+Supports the subset of Go the paper's workloads need, plus the paper's
+``with [Policies] func(...) {...}`` enclosure expression (§2.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.golite import ast_nodes as ast
+from repro.golite.lexer import lex
+from repro.golite.tokens import Token
+
+_BINARY_PREC = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4, "|": 4, "^": 4,
+    "*": 5, "/": 5, "%": 5, "&": 5, "<<": 5, ">>": 5,
+}
+
+_BASIC_TYPES = {"int", "byte", "bool", "string"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tok
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def check(self, value: str) -> bool:
+        return self.tok.value == value and self.tok.kind in ("OP", "KEYWORD")
+
+    def accept(self, value: str) -> bool:
+        if self.check(value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value: str) -> Token:
+        if not self.check(value):
+            raise CompileError(
+                f"expected {value!r}, found {self.tok.value!r}", self.tok.line)
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.tok.kind != "IDENT":
+            raise CompileError(
+                f"expected identifier, found {self.tok.value!r}",
+                self.tok.line)
+        return self.advance().value
+
+    def skip_semis(self) -> None:
+        while self.accept(";"):
+            pass
+
+    def end_stmt(self) -> None:
+        if self.tok.kind == "EOF" or self.check("}"):
+            return
+        self.expect(";")
+        self.skip_semis()
+
+    # -- file ----------------------------------------------------------------
+
+    def parse_file(self) -> ast.SourceFile:
+        self.skip_semis()
+        self.expect("package")
+        name = self.expect_ident()
+        self.end_stmt()
+        file = ast.SourceFile(package=name, imports=[])
+        while self.check("import"):
+            self.advance()
+            if self.accept("("):
+                self.skip_semis()
+                while not self.accept(")"):
+                    if self.tok.kind != "STRING":
+                        raise CompileError("expected import path",
+                                           self.tok.line)
+                    file.imports.append(self.advance().value)
+                    self.skip_semis()
+            else:
+                if self.tok.kind != "STRING":
+                    raise CompileError("expected import path", self.tok.line)
+                file.imports.append(self.advance().value)
+            self.end_stmt()
+        while self.tok.kind != "EOF":
+            self.skip_semis()
+            if self.tok.kind == "EOF":
+                break
+            if self.check("func"):
+                file.funcs.append(self.parse_func_decl())
+            elif self.check("var"):
+                file.globals.append(self.parse_global_var())
+            elif self.check("const"):
+                file.consts.append(self.parse_const())
+            elif self.check("type"):
+                file.structs.append(self.parse_struct())
+            else:
+                raise CompileError(
+                    f"unexpected top-level token {self.tok.value!r}",
+                    self.tok.line)
+            self.skip_semis()
+        return file
+
+    # -- declarations ----------------------------------------------------------
+
+    def parse_func_decl(self) -> ast.FuncDecl:
+        line = self.expect("func").line
+        name = self.expect_ident()
+        params, ret = self.parse_signature()
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, ret, body, line)
+
+    def parse_signature(self) -> tuple[list[tuple[str, ast.TypeName]],
+                                       ast.TypeName | None]:
+        self.expect("(")
+        params: list[tuple[str, ast.TypeName]] = []
+        pending: list[str] = []
+        while not self.accept(")"):
+            pending.append(self.expect_ident())
+            if self.accept(","):
+                continue
+            ptype = self.parse_type()
+            for pname in pending:
+                params.append((pname, ptype))
+            pending = []
+            if not self.accept(","):
+                self.expect(")")
+                break
+        ret = None
+        if not self.check("{") and not self.check(";") and \
+                self.tok.kind != "EOF":
+            ret = self.parse_type()
+        return params, ret
+
+    def parse_global_var(self) -> ast.GlobalVar:
+        line = self.expect("var").line
+        name = self.expect_ident()
+        vtype = None
+        value = None
+        if not self.check("=") and not self.check(";"):
+            vtype = self.parse_type()
+        if self.accept("="):
+            value = self.parse_expr()
+        self.end_stmt()
+        return ast.GlobalVar(name, vtype, value, line)
+
+    def parse_const(self) -> ast.ConstDecl:
+        line = self.expect("const").line
+        name = self.expect_ident()
+        if not self.check("="):
+            self.parse_type()  # optional type, ignored (const ints/strings)
+        self.expect("=")
+        value = self.parse_expr()
+        self.end_stmt()
+        return ast.ConstDecl(name, value, line)
+
+    def parse_struct(self) -> ast.StructDecl:
+        line = self.expect("type").line
+        name = self.expect_ident()
+        self.expect("struct")
+        self.expect("{")
+        self.skip_semis()
+        fields: list[tuple[str, ast.TypeName]] = []
+        while not self.accept("}"):
+            fname = self.expect_ident()
+            ftype = self.parse_type()
+            fields.append((fname, ftype))
+            self.skip_semis()
+        return ast.StructDecl(name, fields, line)
+
+    # -- types -------------------------------------------------------------------
+
+    def parse_type(self) -> ast.TypeName:
+        if self.accept("["):
+            self.expect("]")
+            return ast.TypeName("slice", elem=self.parse_type())
+        if self.accept("*"):
+            inner = self.parse_type()
+            return ast.TypeName("ptr", elem=inner)
+        if self.accept("chan"):
+            return ast.TypeName("chan", elem=self.parse_type())
+        if self.accept("func"):
+            params, ret = self.parse_signature_types()
+            return ast.TypeName("func", params=params, ret=ret)
+        name = self.expect_ident()
+        if name in _BASIC_TYPES:
+            return ast.TypeName(name)
+        return ast.TypeName("named", name=name)
+
+    def parse_signature_types(self) -> tuple[list[ast.TypeName],
+                                             ast.TypeName | None]:
+        self.expect("(")
+        params: list[ast.TypeName] = []
+        while not self.accept(")"):
+            params.append(self.parse_type())
+            if not self.accept(","):
+                self.expect(")")
+                break
+        ret = None
+        if not self.check("{") and not self.check(";") and \
+                not self.check(")") and not self.check(",") and \
+                self.tok.kind != "EOF" and self.tok.value != "=":
+            ret = self.parse_type()
+        return params, ret
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self) -> list:
+        self.expect("{")
+        stmts: list = []
+        self.skip_semis()
+        while not self.accept("}"):
+            stmts.append(self.parse_stmt())
+            self.skip_semis()
+        return stmts
+
+    def parse_stmt(self):
+        tok = self.tok
+        if self.check("var"):
+            self.advance()
+            name = self.expect_ident()
+            vtype = None
+            value = None
+            if not self.check("=") and not self.check(";"):
+                vtype = self.parse_type()
+            if self.accept("="):
+                value = self.parse_expr()
+            self.end_stmt()
+            return ast.VarDecl(name, vtype, value, tok.line)
+        if self.check("return"):
+            self.advance()
+            value = None
+            if not self.check(";") and not self.check("}"):
+                value = self.parse_expr()
+            self.end_stmt()
+            return ast.Return(value, tok.line)
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("for"):
+            return self.parse_for()
+        if self.check("break"):
+            self.advance()
+            self.end_stmt()
+            return ast.Break(tok.line)
+        if self.check("continue"):
+            self.advance()
+            self.end_stmt()
+            return ast.Continue(tok.line)
+        if self.check("go"):
+            self.advance()
+            call = self.parse_expr()
+            if not isinstance(call, ast.Call):
+                raise CompileError("go requires a function call", tok.line)
+            self.end_stmt()
+            return ast.Go(call, tok.line)
+        stmt = self.parse_simple_stmt()
+        self.end_stmt()
+        return stmt
+
+    def parse_simple_stmt(self):
+        """Expression, assignment, short declaration, or channel send."""
+        line = self.tok.line
+        expr = self.parse_expr()
+        if self.accept(":="):
+            if not isinstance(expr, ast.Ident):
+                raise CompileError(":= target must be an identifier", line)
+            return ast.Assign(expr, self.parse_expr(), declare=True,
+                              line=line)
+        if self.accept("="):
+            return ast.Assign(expr, self.parse_expr(), line=line)
+        if self.accept("<-"):
+            return ast.Send(expr, self.parse_expr(), line=line)
+        if self.accept("++"):
+            return ast.Assign(expr, ast.Binary("+", expr, ast.IntLit(1)),
+                              line=line)
+        if self.accept("--"):
+            return ast.Assign(expr, ast.Binary("-", expr, ast.IntLit(1)),
+                              line=line)
+        return ast.ExprStmt(expr, line)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("if").line
+        cond = self.parse_expr()
+        then = self.parse_block()
+        orelse: list = []
+        if self.accept("else"):
+            if self.check("if"):
+                orelse = [self.parse_if()]
+            else:
+                orelse = self.parse_block()
+        return ast.If(cond, then, orelse, line)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("for").line
+        if self.check("{"):
+            return ast.For(None, None, None, self.parse_block(), line)
+        # Either `for cond {` or `for init; cond; post {`.
+        first = None
+        if not self.check(";"):
+            first = self.parse_simple_stmt()
+        if self.accept(";"):
+            cond = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            post = None if self.check("{") else self.parse_simple_stmt()
+            return ast.For(first, cond, post, self.parse_block(), line)
+        if not isinstance(first, ast.ExprStmt):
+            raise CompileError("bad for-loop header", line)
+        return ast.For(None, first.expr, None, self.parse_block(), line)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expr(self, min_prec: int = 1):
+        left = self.parse_unary()
+        while True:
+            op = self.tok.value
+            prec = _BINARY_PREC.get(op) if self.tok.kind == "OP" else None
+            if prec is None or prec < min_prec:
+                return left
+            line = self.advance().line
+            right = self.parse_expr(prec + 1)
+            left = ast.Binary(op, left, right, line)
+
+    def parse_unary(self):
+        tok = self.tok
+        if self.tok.kind == "OP" and tok.value in ("-", "!", "<-"):
+            self.advance()
+            return ast.Unary(tok.value, self.parse_unary(), tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            if self.accept("."):
+                expr = ast.Selector(expr, self.expect_ident(), self.tok.line)
+            elif self.check("("):
+                self.advance()
+                args = []
+                while not self.accept(")"):
+                    args.append(self.parse_expr())
+                    if not self.accept(","):
+                        self.expect(")")
+                        break
+                expr = ast.Call(expr, args, self.tok.line)
+            elif self.check("["):
+                line = self.advance().line
+                if self.accept(":"):
+                    hi = self.parse_expr()
+                    self.expect("]")
+                    expr = ast.SliceExpr(expr, ast.IntLit(0), hi, line)
+                    continue
+                index = self.parse_expr()
+                if self.accept(":"):
+                    hi = None
+                    if not self.check("]"):
+                        hi = self.parse_expr()
+                    self.expect("]")
+                    expr = ast.SliceExpr(expr, index, hi, line)
+                else:
+                    self.expect("]")
+                    expr = ast.Index(expr, index, line)
+            else:
+                return expr
+
+    def parse_primary(self):
+        tok = self.tok
+        if tok.kind == "INT":
+            self.advance()
+            return ast.IntLit(int(tok.value), tok.line)
+        if tok.kind == "STRING":
+            self.advance()
+            return ast.StrLit(tok.value, tok.line)
+        if self.check("true"):
+            self.advance()
+            return ast.BoolLit(True, tok.line)
+        if self.check("false"):
+            self.advance()
+            return ast.BoolLit(False, tok.line)
+        if tok.kind == "IDENT":
+            self.advance()
+            return ast.Ident(tok.value, tok.line)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if self.check("[") or self.check("chan"):
+            # A type literal in expression position (make's first arg).
+            return self.parse_type()
+        if self.check("func"):
+            return self.parse_func_lit()
+        if self.check("with"):
+            return self.parse_with()
+        raise CompileError(f"unexpected token {tok.value!r} in expression",
+                           tok.line)
+
+    def parse_func_lit(self) -> ast.FuncLit:
+        line = self.expect("func").line
+        params, ret = self.parse_signature()
+        body = self.parse_block()
+        return ast.FuncLit(params, ret, body, line)
+
+    def parse_with(self) -> ast.WithExpr:
+        """``with "policy" func(args) ret { body }`` (§2.2)."""
+        line = self.expect("with").line
+        if self.tok.kind != "STRING":
+            raise CompileError(
+                "with requires a policy string literal "
+                "(validated at compile time)", line)
+        policy = self.advance().value
+        fn = self.parse_func_lit()
+        return ast.WithExpr(policy, fn, line)
+
+
+def parse_source(source: str) -> ast.SourceFile:
+    return Parser(lex(source)).parse_file()

@@ -1,0 +1,148 @@
+"""Whole-program compilation: sources -> code objects -> linked image.
+
+The driver mirrors the paper's toolchain: parse every package, collect
+global signatures (the checker's registry), compile each package to a
+code object, synthesize per-package ``init`` functions and the start
+stub that runs them in dependency order, then hand everything to the
+linker.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.golite import ast_nodes as ast
+from repro.golite.codegen import PackageCompiler, ProgramInfo
+from repro.golite.parser import parse_source
+from repro.golite.types import INT, STRING, StructInfo, Type
+from repro.image.elf import CodeObject, ElfImage, FuncDef
+from repro.image.linker import link
+from repro.isa.instr import Instr, SymRef
+from repro.isa.opcodes import Op
+
+
+def compile_program(sources: list[str],
+                    main_package: str = "main") -> list[CodeObject]:
+    """Compile Golite sources (one string per package) to code objects."""
+    prog = ProgramInfo()
+    files: list[ast.SourceFile] = []
+    loc: dict[str, int] = {}
+    for source in sources:
+        file = parse_source(source)
+        if file.package in prog.packages:
+            raise CompileError(f"duplicate package {file.package!r}")
+        prog.packages[file.package] = file
+        files.append(file)
+        loc[file.package] = source.count("\n") + 1
+
+    # Pass 1a: struct declarations (names are program-global).
+    pending: list[tuple[ast.SourceFile, ast.StructDecl, StructInfo]] = []
+    for file in files:
+        for decl in file.structs:
+            if decl.name in prog.structs:
+                raise CompileError(f"struct {decl.name!r} redeclared")
+            info = StructInfo(decl.name, file.package)
+            prog.structs[decl.name] = info
+            pending.append((file, decl, info))
+    for _, decl, info in pending:
+        for fname, ftn in decl.fields:
+            info.fields.append((fname, prog.resolve_type(ftn)))
+
+    # Pass 1b: function signatures, globals, consts.
+    for file in files:
+        pkg = file.package
+        for decl in file.funcs:
+            params = tuple(prog.resolve_type(tn) for _, tn in decl.params)
+            ret = prog.resolve_type(decl.ret) if decl.ret else None
+            prog.funcs[f"{pkg}.{decl.name}"] = Type("func", params=params,
+                                                    ret=ret)
+        for g in file.globals:
+            if g.type is not None:
+                gtype = prog.resolve_type(g.type)
+            else:
+                gtype = _infer_literal_type(prog, g.value)
+                if gtype is None:
+                    raise CompileError(
+                        f"global {g.name!r} needs an explicit type", g.line)
+            prog.globals[f"{pkg}.{g.name}"] = gtype
+        for c in file.consts:
+            if isinstance(c.value, ast.IntLit):
+                prog.consts[f"{pkg}.{c.name}"] = (INT, c.value.value)
+            elif isinstance(c.value, ast.StrLit):
+                prog.consts[f"{pkg}.{c.name}"] = (STRING, c.value.value)
+            elif isinstance(c.value, ast.Unary) and c.value.op == "-" and \
+                    isinstance(c.value.operand, ast.IntLit):
+                prog.consts[f"{pkg}.{c.name}"] = (INT, -c.value.operand.value)
+            else:
+                raise CompileError(
+                    f"const {c.name!r} must be an int or string literal",
+                    c.line)
+
+    # Pass 2: codegen.
+    objects: list[CodeObject] = []
+    has_init: set[str] = set()
+    for file in files:
+        pc = PackageCompiler(prog, file, loc[file.package])
+        for g in file.globals:
+            from repro.image.elf import GlobalDef
+            pc.code.globals.append(
+                GlobalDef(f"{file.package}.{g.name}", 8))
+        pc.compile_functions()
+        if pc.synth_init():
+            has_init.add(file.package)
+        objects.append(pc.code)
+
+    if f"{main_package}.main" not in prog.funcs:
+        raise CompileError(f"package {main_package!r} has no main function")
+
+    # Start stub: run package inits in dependency order, then main.
+    order = _topo_order(prog)
+    start: list[Instr] = [Instr(Op.ENTER, 0, 0)]
+    for pkg in order:
+        if pkg in has_init:
+            start.append(Instr(Op.CALL, SymRef(f"{pkg}.init")))
+            start.append(Instr(Op.DROP))
+    start.append(Instr(Op.CALL, SymRef(f"{main_package}.main")))
+    start.append(Instr(Op.DROP))
+    start.append(Instr(Op.RET))
+    for obj in objects:
+        if obj.name == main_package:
+            obj.functions.append(FuncDef(f"{main_package}.$start", start))
+    return objects
+
+
+def build_program(sources: list[str],
+                  main_package: str = "main") -> ElfImage:
+    """Compile and link a Golite program."""
+    objects = compile_program(sources, main_package)
+    return link(objects, entry=f"{main_package}.$start")
+
+
+def _infer_literal_type(prog: ProgramInfo, value) -> Type | None:
+    if isinstance(value, ast.IntLit):
+        return INT
+    if isinstance(value, ast.StrLit):
+        return STRING
+    if isinstance(value, ast.BoolLit):
+        from repro.golite.types import BOOL
+        return BOOL
+    return None
+
+
+def _topo_order(prog: ProgramInfo) -> list[str]:
+    """Packages in dependency-first order (imports before importers)."""
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def visit(pkg: str) -> None:
+        if pkg in seen:
+            return
+        seen.add(pkg)
+        file = prog.packages.get(pkg)
+        if file is not None:
+            for path in sorted(file.imports):
+                visit(path.split("/")[-1])
+        order.append(pkg)
+
+    for pkg in sorted(prog.packages):
+        visit(pkg)
+    return order

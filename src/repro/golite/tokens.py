@@ -1,0 +1,39 @@
+"""Token definitions for Golite, the Go-like frontend language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "package", "import", "var", "const", "func", "return", "if", "else",
+    "for", "break", "continue", "go", "with", "type", "struct", "chan",
+    "true", "false",
+})
+
+# Multi-character operators, longest first for maximal munch.
+OPERATORS = (
+    "++", "--",
+    "<<", ">>", "&&", "||", "==", "!=", "<=", ">=", ":=", "<-",
+    "+", "-", "*", "/", "%", "&", "|", "^", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", ".",
+)
+
+#: Token kinds: IDENT, INT, STRING, KEYWORD, OP, EOF.
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}"
+
+
+#: Tokens after which a newline inserts an implicit semicolon (Go ASI).
+ASI_AFTER_KINDS = frozenset({"IDENT", "INT", "STRING"})
+ASI_AFTER_VALUES = frozenset({
+    ")", "}", "]", "return", "break", "continue", "true", "false",
+    "++", "--",
+})

@@ -1,0 +1,103 @@
+"""Semantic types for Golite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+
+
+@dataclass(frozen=True)
+class Type:
+    """A resolved Golite type.  All values are one 64-bit word at the
+    ISA level; kinds drive the checker and element sizes."""
+
+    kind: str                      # int | byte | bool | string | slice |
+    #                                ptr | chan | func | void
+    elem: "Type | None" = None     # slice/chan/ptr element
+    params: tuple["Type", ...] = ()
+    ret: "Type | None" = None      # func result (None = void)
+    struct: "StructInfo | None" = None  # for ptr-to-struct
+
+    def __str__(self) -> str:
+        if self.kind == "slice":
+            return f"[]{self.elem}"
+        if self.kind == "ptr":
+            return f"*{self.struct.name if self.struct else self.elem}"
+        if self.kind == "chan":
+            return f"chan {self.elem}"
+        if self.kind == "func":
+            args = ", ".join(str(p) for p in self.params)
+            return f"func({args}) {self.ret or ''}".rstrip()
+        return self.kind
+
+
+@dataclass
+class StructInfo:
+    """A declared struct: field names, types, and word offsets."""
+
+    name: str
+    package: str
+    fields: list[tuple[str, Type]] = field(default_factory=list)
+
+    def offset_of(self, name: str) -> int:
+        for index, (fname, _) in enumerate(self.fields):
+            if fname == name:
+                return 8 * index
+        raise CompileError(f"struct {self.name} has no field {name!r}")
+
+    def type_of(self, name: str) -> Type:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise CompileError(f"struct {self.name} has no field {name!r}")
+
+    @property
+    def size(self) -> int:
+        return max(8, 8 * len(self.fields))
+
+
+INT = Type("int")
+BYTE = Type("byte")
+BOOL = Type("bool")
+STRING = Type("string")
+VOID = Type("void")
+
+BYTES = Type("slice", elem=BYTE)
+INTS = Type("slice", elem=INT)
+
+
+def is_numeric(t: Type) -> bool:
+    return t.kind in ("int", "byte")
+
+
+def elem_size(t: Type) -> int:
+    """Element size in bytes for a slice type."""
+    assert t.kind == "slice" and t.elem is not None
+    return 1 if t.elem.kind == "byte" else 8
+
+
+def assignable(dst: Type, src: Type) -> bool:
+    """Loose Go-like assignability: int/byte interconvert, everything
+    else matches structurally."""
+    if dst == src:
+        return True
+    if is_numeric(dst) and is_numeric(src):
+        return True
+    if dst.kind == src.kind == "slice":
+        return dst.elem == src.elem or (
+            is_numeric(dst.elem) and is_numeric(src.elem)
+            and dst.elem.kind == src.elem.kind)
+    if dst.kind == src.kind == "func":
+        return dst.params == src.params and dst.ret == src.ret
+    if dst.kind == src.kind == "ptr":
+        return dst.struct is src.struct
+    if dst.kind == src.kind == "chan":
+        return dst.elem == src.elem
+    return False
+
+
+def comparable(a: Type, b: Type) -> bool:
+    if is_numeric(a) and is_numeric(b):
+        return True
+    return a == b

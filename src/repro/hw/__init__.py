@@ -1,0 +1,39 @@
+"""Simulated hardware: paged memory, MPK, VT-x, and the cost model."""
+
+from repro.hw.clock import COSTS, ClockSnapshot, Costs, SimClock
+from repro.hw.cpu import CPU, StackSegment
+from repro.hw.mmu import MMU, TranslationContext, WORD_SIZE, wrap64
+from repro.hw.mpk import (
+    NUM_KEYS,
+    PKRU_ALLOW_ALL,
+    PKRU_DENY_ALL_BUT_0,
+    PkeyAllocator,
+    make_pkru,
+    pkru_allows_read,
+    pkru_allows_write,
+)
+from repro.hw.pages import (
+    PAGE_SIZE,
+    Perm,
+    Section,
+    check_disjoint,
+    is_page_aligned,
+    page_align_down,
+    page_align_up,
+)
+from repro.hw.pagetable import PTE, PageTable
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.vtx import ExitReason, VirtualMachine, VMCS
+
+__all__ = [
+    "COSTS", "ClockSnapshot", "Costs", "SimClock",
+    "CPU", "StackSegment",
+    "MMU", "TranslationContext", "WORD_SIZE", "wrap64",
+    "NUM_KEYS", "PKRU_ALLOW_ALL", "PKRU_DENY_ALL_BUT_0", "PkeyAllocator",
+    "make_pkru", "pkru_allows_read", "pkru_allows_write",
+    "PAGE_SIZE", "Perm", "Section", "check_disjoint", "is_page_aligned",
+    "page_align_down", "page_align_up",
+    "PTE", "PageTable",
+    "PhysicalMemory",
+    "ExitReason", "VirtualMachine", "VMCS",
+]

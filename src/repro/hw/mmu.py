@@ -1,0 +1,170 @@
+"""Simulated MMU: translation plus permission / protection-key checks.
+
+Every memory access made by simulated code — instruction fetches,
+loads, stores, and the bulk accesses of runtime helpers acting on behalf
+of simulated code — goes through :meth:`MMU.read` / :meth:`MMU.write` /
+:meth:`MMU.check_exec` with the currently installed
+:class:`TranslationContext`.  This is what makes LitterBox's enforcement
+non-bypassable inside the simulation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PageFault, PkeyFault
+from repro.hw.clock import COSTS, SimClock
+from repro.hw.mpk import pkru_allows_read, pkru_allows_write
+from repro.hw.pages import PAGE_SIZE, Perm
+from repro.hw.pagetable import PTE, PageTable
+from repro.hw.physmem import PhysicalMemory
+
+_WORD = struct.Struct("<q")
+_UWORD = struct.Struct("<Q")
+WORD_SIZE = 8
+
+
+@dataclass
+class TranslationContext:
+    """The translation state the hardware sees for the running code.
+
+    Attributes:
+        page_table: the active table (CR3 in VT-x mode selects this).
+        pkru: PKRU register value, or ``None`` when MPK is not in use.
+        ept: optional second-level table (guest-physical -> host frame).
+        user: whether the access executes in user mode.
+    """
+
+    page_table: PageTable
+    pkru: int | None = None
+    ept: PageTable | None = None
+    user: bool = True
+
+
+class MMU:
+    """Performs checked virtual-memory accesses against a context."""
+
+    def __init__(self, physmem: PhysicalMemory, clock: SimClock):
+        self.physmem = physmem
+        self.clock = clock
+
+    # -- translation ----------------------------------------------------
+
+    def _translate(self, ctx: TranslationContext, vaddr: int,
+                   kind: str) -> tuple[PTE, int]:
+        """Translate one address; raise a fault on any violation.
+
+        ``kind`` is ``'r'``, ``'w'``, or ``'x'``.
+        """
+        pte = ctx.page_table.lookup(vaddr >> 12)
+        if pte is None:
+            raise PageFault("non-present",
+                            f"no translation for {vaddr:#x} in {ctx.page_table.name}",
+                            addr=vaddr)
+        if not pte.present:
+            raise PageFault("non-present",
+                            f"page {vaddr:#x} not present in {ctx.page_table.name}",
+                            addr=vaddr)
+        if ctx.user and not pte.user:
+            raise PageFault(kind, f"user access to supervisor page {vaddr:#x}",
+                            addr=vaddr)
+        needed = {"r": Perm.R, "w": Perm.W, "x": Perm.X}[kind]
+        if not pte.perms & needed:
+            raise PageFault(
+                kind,
+                f"{kind}-access to {vaddr:#x} ({pte.perms.label()}) denied",
+                addr=vaddr)
+        # MPK: PKRU governs *data* accesses to user pages only.
+        if ctx.pkru is not None and ctx.user and kind != "x":
+            if kind == "r" and not pkru_allows_read(ctx.pkru, pte.pkey):
+                raise PkeyFault(
+                    f"read of {vaddr:#x} denied by PKRU for key {pte.pkey}",
+                    addr=vaddr, pkey=pte.pkey)
+            if kind == "w" and not pkru_allows_write(ctx.pkru, pte.pkey):
+                raise PkeyFault(
+                    f"write of {vaddr:#x} denied by PKRU for key {pte.pkey}",
+                    addr=vaddr, pkey=pte.pkey)
+        paddr = pte.pfn * PAGE_SIZE + (vaddr & (PAGE_SIZE - 1))
+        if ctx.ept is not None:
+            ept_pte = ctx.ept.lookup(paddr >> 12)
+            if ept_pte is None:
+                raise PageFault("non-present",
+                                f"EPT violation for GPA {paddr:#x}", addr=vaddr)
+            paddr = ept_pte.pfn * PAGE_SIZE + (paddr & (PAGE_SIZE - 1))
+        return pte, paddr
+
+    # -- checked accesses ------------------------------------------------
+
+    def read(self, ctx: TranslationContext, vaddr: int, size: int,
+             charge: bool = True) -> bytes:
+        """Read ``size`` bytes, page by page, enforcing permissions."""
+        if charge:
+            self.clock.charge(COSTS.INSN_MEM + COSTS.MEM_BYTE * max(0, size - 8))
+        out = bytearray()
+        remaining = size
+        addr = vaddr
+        while remaining > 0:
+            _, paddr = self._translate(ctx, addr, "r")
+            chunk = min(remaining, PAGE_SIZE - (addr & (PAGE_SIZE - 1)))
+            out += self.physmem.read(paddr, chunk)
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, ctx: TranslationContext, vaddr: int, data: bytes,
+              charge: bool = True) -> None:
+        if charge:
+            self.clock.charge(
+                COSTS.INSN_MEM + COSTS.MEM_BYTE * max(0, len(data) - 8))
+        pos = 0
+        remaining = len(data)
+        addr = vaddr
+        while remaining > 0:
+            _, paddr = self._translate(ctx, addr, "w")
+            chunk = min(remaining, PAGE_SIZE - (addr & (PAGE_SIZE - 1)))
+            self.physmem.write(paddr, data[pos:pos + chunk])
+            addr += chunk
+            pos += chunk
+            remaining -= chunk
+
+    def check_exec(self, ctx: TranslationContext, vaddr: int) -> None:
+        """Validate an instruction fetch from ``vaddr``."""
+        self._translate(ctx, vaddr, "x")
+
+    # -- word-granular helpers (the ISA operates on 64-bit words) --------
+
+    def read_word(self, ctx: TranslationContext, vaddr: int,
+                  charge: bool = True) -> int:
+        return _WORD.unpack(self.read(ctx, vaddr, WORD_SIZE, charge))[0]
+
+    def write_word(self, ctx: TranslationContext, vaddr: int, value: int,
+                   charge: bool = True) -> None:
+        self.write(ctx, vaddr, _WORD.pack(_wrap64(value)), charge)
+
+    def read_byte(self, ctx: TranslationContext, vaddr: int,
+                  charge: bool = True) -> int:
+        return self.read(ctx, vaddr, 1, charge)[0]
+
+    def write_byte(self, ctx: TranslationContext, vaddr: int, value: int,
+                   charge: bool = True) -> None:
+        self.write(ctx, vaddr, bytes([value & 0xFF]), charge)
+
+    def memcpy(self, ctx: TranslationContext, dst: int, src: int,
+               size: int) -> None:
+        """Bulk copy with both sides permission-checked."""
+        self.clock.charge(COSTS.MEM_BYTE * size)
+        data = self.read(ctx, src, size, charge=False)
+        self.write(ctx, dst, data, charge=False)
+
+
+def _wrap64(value: int) -> int:
+    """Wrap a Python int into signed 64-bit two's-complement range."""
+    value &= (1 << 64) - 1
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def wrap64(value: int) -> int:
+    return _wrap64(value)

@@ -1,0 +1,96 @@
+"""Intel Memory Protection Keys (MPK) simulation.
+
+MPK tags page-table entries with one of 16 protection keys and adds a
+user-writable 32-bit register, PKRU, holding two bits per key: AD
+(access disable) and WD (write disable).  The MMU consults PKRU on every
+*data* access to a user page (instruction fetches are not subject to
+PKRU, as on real hardware).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+NUM_KEYS = 16
+PKEY_DEFAULT = 0
+
+
+def _check_key(key: int) -> None:
+    if not 0 <= key < NUM_KEYS:
+        raise ConfigError(f"protection key {key} out of range [0,{NUM_KEYS})")
+
+
+def pkru_bits(key: int, *, access: bool, write: bool) -> int:
+    """PKRU bits for one key: bit0=AD, bit1=WD (1 = disabled)."""
+    _check_key(key)
+    ad = 0 if access else 1
+    wd = 0 if write else 1
+    return (ad | (wd << 1)) << (2 * key)
+
+
+def pkru_allows_read(pkru: int, key: int) -> bool:
+    return not (pkru >> (2 * key)) & 0x1
+
+
+def pkru_allows_write(pkru: int, key: int) -> bool:
+    bits = (pkru >> (2 * key)) & 0x3
+    return bits == 0  # neither AD nor WD set
+
+
+def make_pkru(rights: dict[int, str], default_deny: bool = True) -> int:
+    """Build a PKRU value from ``{key: "rw"|"r"|""}``.
+
+    With ``default_deny`` (how LitterBox configures environments), every
+    key not listed gets AD set, so pages tagged with it are inaccessible.
+    """
+    value = 0
+    for key in range(NUM_KEYS):
+        spec = rights.get(key)
+        if spec is None:
+            if default_deny:
+                value |= pkru_bits(key, access=False, write=False)
+            continue
+        if spec not in ("", "r", "rw"):
+            raise ConfigError(f"bad pkey rights spec {spec!r}")
+        value |= pkru_bits(
+            key, access=spec != "", write=spec == "rw")
+    return value
+
+
+#: PKRU value granting access to every key (trusted environment).
+PKRU_ALLOW_ALL = 0
+#: PKRU value denying data access to every key except key 0.
+PKRU_DENY_ALL_BUT_0 = make_pkru({0: "rw"})
+
+
+class PkeyAllocator:
+    """Kernel-side allocation of protection keys (``pkey_alloc``/``free``).
+
+    Key 0 is the implicit default key and is never handed out.
+    """
+
+    def __init__(self) -> None:
+        self._allocated: set[int] = {PKEY_DEFAULT}
+
+    @property
+    def available(self) -> int:
+        return NUM_KEYS - len(self._allocated)
+
+    def alloc(self) -> int:
+        for key in range(1, NUM_KEYS):
+            if key not in self._allocated:
+                self._allocated.add(key)
+                return key
+        raise ConfigError("out of protection keys (16 max); "
+                          "enable key virtualization (libmpk) instead")
+
+    def free(self, key: int) -> None:
+        _check_key(key)
+        if key == PKEY_DEFAULT:
+            raise ConfigError("cannot free the default protection key")
+        if key not in self._allocated:
+            raise ConfigError(f"freeing unallocated key {key}")
+        self._allocated.remove(key)
+
+    def is_allocated(self, key: int) -> bool:
+        return key in self._allocated

@@ -1,0 +1,117 @@
+"""Simulated page tables.
+
+A :class:`PageTable` maps virtual page numbers to :class:`PTE` entries.
+PTEs carry access rights, a user/supervisor bit, a presence bit, and —
+as on MPK-capable x86 — a 4-bit protection key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.hw.pages import PAGE_SIZE, Perm, pages_spanned
+
+
+@dataclass(frozen=True)
+class PTE:
+    """A page-table entry."""
+
+    pfn: int
+    perms: Perm
+    pkey: int = 0
+    present: bool = True
+    user: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pkey < 16:
+            raise ConfigError(f"protection key {self.pkey} out of range [0,16)")
+
+
+class PageTable:
+    """A single-level simulated page table (vpn -> PTE).
+
+    Real x86 tables are 4-level radix trees; a flat dict preserves the
+    semantics (per-page translation + rights) that the reproduction needs
+    while staying fast to clone, which LitterBox's VT-x backend does once
+    per execution environment.
+    """
+
+    _next_id = 0
+
+    def __init__(self, name: str = ""):
+        PageTable._next_id += 1
+        self.id = PageTable._next_id
+        self.name = name or f"pt{self.id}"
+        self._entries: dict[int, PTE] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def lookup(self, vpn: int) -> PTE | None:
+        """Translate a virtual page number; ``None`` if unmapped."""
+        return self._entries.get(vpn)
+
+    def map_page(self, vpn: int, pte: PTE) -> None:
+        self._entries[vpn] = pte
+
+    def map_range(self, base: int, size: int, pfns: list[int], perms: Perm,
+                  pkey: int = 0, user: bool = True, present: bool = True) -> None:
+        """Map ``[base, base+size)`` onto consecutive entries of ``pfns``."""
+        vpns = list(pages_spanned(base, size))
+        if len(vpns) != len(pfns):
+            raise ConfigError(
+                f"map_range: {len(vpns)} pages but {len(pfns)} frames")
+        for vpn, pfn in zip(vpns, pfns):
+            self.map_page(vpn, PTE(pfn, perms, pkey, present, user))
+
+    def unmap_page(self, vpn: int) -> None:
+        self._entries.pop(vpn, None)
+
+    def unmap_range(self, base: int, size: int) -> None:
+        for vpn in pages_spanned(base, size):
+            self.unmap_page(vpn)
+
+    def _update_range(self, base: int, size: int, **changes) -> int:
+        """Apply field changes to every mapped PTE in a range.
+
+        Returns the number of entries updated (the caller charges
+        simulated time per updated entry).
+        """
+        updated = 0
+        for vpn in pages_spanned(base, size):
+            pte = self._entries.get(vpn)
+            if pte is None:
+                raise ConfigError(f"update of unmapped page vpn={vpn:#x}")
+            self._entries[vpn] = replace(pte, **changes)
+            updated += 1
+        return updated
+
+    def protect_range(self, base: int, size: int, perms: Perm) -> int:
+        return self._update_range(base, size, perms=perms)
+
+    def set_pkey_range(self, base: int, size: int, pkey: int) -> int:
+        return self._update_range(base, size, pkey=pkey)
+
+    def set_present_range(self, base: int, size: int, present: bool) -> int:
+        return self._update_range(base, size, present=present)
+
+    def clone(self, name: str = "") -> "PageTable":
+        """Copy this table; used to derive per-environment tables."""
+        table = PageTable(name)
+        table._entries = dict(self._entries)
+        return table
+
+    def mapped_vpns(self) -> list[int]:
+        return sorted(self._entries)
+
+    def translate_addr(self, vaddr: int) -> tuple[PTE | None, int]:
+        """Return (pte, physical address) for ``vaddr``; pte may be None."""
+        vpn, off = divmod(vaddr, PAGE_SIZE)
+        pte = self._entries.get(vpn)
+        if pte is None:
+            return None, 0
+        return pte, pte.pfn * PAGE_SIZE + off

@@ -1,0 +1,9 @@
+"""Program images: code objects, the linker, and the ELF-like executable."""
+
+from repro.image.elf import CodeObject, ElfImage, FuncDef, GlobalDef, LoadSection
+from repro.image.linker import DATA_BASE, RODATA_BASE, SUPER_BASE, TEXT_BASE, link
+
+__all__ = [
+    "CodeObject", "ElfImage", "FuncDef", "GlobalDef", "LoadSection",
+    "DATA_BASE", "RODATA_BASE", "SUPER_BASE", "TEXT_BASE", "link",
+]

@@ -1,0 +1,257 @@
+"""The linker (paper §5.1, "Linking").
+
+Assembles per-package code objects into a single executable image:
+
+* assigns page-aligned, per-package section addresses so that no two
+  packages share a page (the layout *is* the segregation the paper's
+  symbol-address-assignment algorithm performs for marked packages);
+* isolates each enclosure's closure functions into their own text
+  section owned by the declaring package;
+* resolves symbols and encodes instructions;
+* emits the ``.pkgs``, ``.rstrct``, and ``.verif`` metadata sections as
+  part of LitterBox's protected ``super`` package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.enclosure import LITTERBOX_SUPER, LITTERBOX_USER, EnclosureSpec
+from repro.core.packages import DependenceGraph, PackageInfo
+from repro.errors import LinkError
+from repro.hw.pages import PAGE_SIZE, Perm, Section, page_align_up
+from repro.image.elf import CodeObject, ElfImage, FuncDef, LoadSection
+from repro.isa.instr import Instr, encode_all, resolve
+from repro.isa.opcodes import INSTR_SIZE, Op
+
+TEXT_BASE = 0x0010_0000
+RODATA_BASE = 0x0100_0000
+DATA_BASE = 0x0200_0000
+SUPER_BASE = 0x7000_0000
+
+WORD = 8
+
+
+@dataclass
+class _SectionBuilder:
+    name: str
+    base: int
+    perms: Perm
+    owner: str
+    kind: str
+    data: bytearray = field(default_factory=bytearray)
+
+    @property
+    def cursor(self) -> int:
+        return self.base + len(self.data)
+
+    def append(self, blob: bytes) -> int:
+        addr = self.cursor
+        self.data.extend(blob)
+        return addr
+
+    def reserve(self, size: int) -> int:
+        return self.append(bytes(size))
+
+    def finish(self) -> LoadSection:
+        size = max(PAGE_SIZE, page_align_up(len(self.data)))
+        padded = bytes(self.data) + bytes(size - len(self.data))
+        return LoadSection(Section(self.name, self.base, size, self.perms),
+                           padded, self.owner, self.kind)
+
+
+def _synth_litterbox_user() -> CodeObject:
+    """LitterBox's user package: present in every execution environment.
+
+    Its text hosts the API entry gates; the actual hook logic runs in
+    the protected super package (modeled at the machine level), so a
+    page of inert instructions suffices for layout and scanning.
+    """
+    gate = [Instr(Op.RET)]
+    return CodeObject(
+        name=LITTERBOX_USER,
+        functions=[FuncDef(f"{LITTERBOX_USER}.gate", gate)],
+        loc=6500,  # LitterBox is 6,500 LOC of Go in the paper (§5)
+        trusted=True,
+    )
+
+
+def link(objects: list[CodeObject], entry: str = "main.main") -> ElfImage:
+    """Link code objects into an :class:`ElfImage`."""
+    objects = list(objects) + [_synth_litterbox_user()]
+    names = [obj.name for obj in objects]
+    if len(set(names)) != len(names):
+        raise LinkError(f"duplicate package names in link set: {names}")
+
+    graph = DependenceGraph()
+    for obj in objects:
+        graph.add(PackageInfo(name=obj.name, imports=tuple(obj.imports),
+                              loc=obj.loc, trusted=obj.trusted))
+    graph.add(PackageInfo(name=LITTERBOX_SUPER, trusted=True))
+
+    # Renumber enclosures globally (env id 0 is the trusted environment)
+    # and materialize each closure as its own pseudo-package whose
+    # imports are the packages the body references.
+    enclosures: list[EnclosureSpec] = []
+    for obj in sorted(objects, key=lambda o: o.name):
+        for spec in sorted(obj.enclosures, key=lambda s: s.name):
+            if spec.owner != obj.name:
+                raise LinkError(
+                    f"enclosure {spec.name!r} owner mismatch: "
+                    f"{spec.owner!r} declared in {obj.name!r}")
+            enclosures.append(spec)
+            graph.add(PackageInfo(name=spec.pseudo_package,
+                                  imports=tuple(spec.refs)))
+    graph.validate()
+    symbols: dict[str, int] = {}
+    for index, spec in enumerate(enclosures, start=1):
+        spec.id = index
+        symbols[f"encl:{spec.name}"] = index
+
+    # Stable package ids, used by the runtime's allocator instrumentation
+    # ("the compiler augments calls to the dynamic allocator with the
+    # caller's package identifier", §5.1).
+    for index, name in enumerate(sorted(graph.names())):
+        symbols[f"pkgid:{name}"] = index
+
+    # -- pass 1: lay out sections and assign symbol addresses -------------
+    builders: list[_SectionBuilder] = []
+    func_homes: dict[str, tuple[_SectionBuilder, FuncDef]] = {}
+
+    text_cursor = TEXT_BASE
+
+    def new_text(name: str, owner: str) -> _SectionBuilder:
+        nonlocal text_cursor
+        builder = _SectionBuilder(name, text_cursor, Perm.RX, owner, "text")
+        builders.append(builder)
+        return builder
+
+    for obj in sorted(objects, key=lambda o: o.name):
+        enclosure_names = {spec.name for spec in obj.enclosures}
+        # Group functions: the package's main text, then one dedicated
+        # section per enclosure ("closure resides in its own text
+        # section owned by the package that declares it", §4.1).
+        groups: dict[str, list[FuncDef]] = {"": []}
+        for func in obj.functions:
+            if func.enclosure is not None and \
+                    func.enclosure not in enclosure_names:
+                raise LinkError(
+                    f"function {func.name!r} references unknown "
+                    f"enclosure {func.enclosure!r}")
+            groups.setdefault(func.enclosure or "", []).append(func)
+        for group_name, funcs in groups.items():
+            if group_name == "":
+                section_name = f"{obj.name}.text"
+                owner = obj.name
+            else:
+                section_name = f"encl.{group_name}.text"
+                owner = f"encl.{group_name}"
+            builder = new_text(section_name, owner)
+            for func in funcs:
+                if func.name in symbols:
+                    raise LinkError(f"duplicate symbol {func.name!r}")
+                symbols[func.name] = builder.cursor
+                builder.reserve(len(func.instrs) * INSTR_SIZE)
+                func_homes[func.name] = (builder, func)
+            text_cursor = page_align_up(
+                builder.base + max(PAGE_SIZE, len(builder.data)))
+
+    rodata_cursor = RODATA_BASE
+    data_cursor = DATA_BASE
+    for obj in sorted(objects, key=lambda o: o.name):
+        if obj.rodata:
+            # Literals named "encl.<name>.*" belong to that enclosure's
+            # own rodata section; the rest to the package's.
+            groups_ro: dict[str, dict[str, bytes]] = {}
+            for sym, blob in sorted(obj.rodata.items()):
+                if sym.startswith("encl."):
+                    owner = ".".join(sym.split(".")[:2])
+                else:
+                    owner = obj.name
+                groups_ro.setdefault(owner, {})[sym] = blob
+            for owner, entries in groups_ro.items():
+                builder = _SectionBuilder(f"{owner}.rodata", rodata_cursor,
+                                          Perm.R, owner, "rodata")
+                builders.append(builder)
+                for sym, blob in entries.items():
+                    if sym in symbols:
+                        raise LinkError(f"duplicate symbol {sym!r}")
+                    symbols[sym] = builder.append(blob)
+                    pad = (-len(blob)) % WORD
+                    builder.reserve(pad)
+                rodata_cursor = page_align_up(
+                    builder.base + max(PAGE_SIZE, len(builder.data)))
+        if obj.globals:
+            builder = _SectionBuilder(f"{obj.name}.data", data_cursor,
+                                      Perm.RW, obj.name, "data")
+            builders.append(builder)
+            for glob in obj.globals:
+                if glob.name in symbols:
+                    raise LinkError(f"duplicate symbol {glob.name!r}")
+                size = page_align_word(glob.size)
+                init = glob.init + bytes(size - len(glob.init))
+                symbols[glob.name] = builder.append(init)
+            data_cursor = page_align_up(
+                builder.base + max(PAGE_SIZE, len(builder.data)))
+
+    # -- pass 2: resolve and encode ----------------------------------------
+    verif: dict[int, int] = {}
+    code_registry: dict[int, list[Instr]] = {}
+    for qualified, (home, func) in func_homes.items():
+        addr = symbols[qualified]
+        resolved = resolve(func.instrs, addr, symbols)
+        code_registry[addr] = resolved
+        for index, instr in enumerate(resolved):
+            if instr.op == Op.LBCALL:
+                verif[addr + index * INSTR_SIZE] = int(instr.imm1)
+        offset = addr - home.base
+        blob = encode_all(resolved)
+        home.data[offset:offset + len(blob)] = blob
+
+    sections = [builder.finish() for builder in builders]
+
+    # Fill in enclosure addresses.
+    for spec in enclosures:
+        if spec.thunk_symbol:
+            spec.thunk_addr = _require(symbols, spec.thunk_symbol)
+        if spec.body_symbol:
+            spec.body_addr = _require(symbols, spec.body_symbol)
+
+    # Attach sections to package infos.
+    for load in sections:
+        graph.get(load.owner).add_section(load.section)
+
+    if entry not in symbols:
+        raise LinkError(f"entry symbol {entry!r} not defined")
+
+    image = ElfImage(sections=sections, symbols=symbols, graph=graph,
+                     enclosures=enclosures, verif=verif,
+                     entry=symbols[entry], code_registry=code_registry)
+
+    # -- the .pkgs/.rstrct/.verif sections of the super package -----------
+    super_sections = []
+    cursor = SUPER_BASE
+    for kind, blob in (("pkgs", image.pkgs_blob()),
+                       ("rstrct", image.rstrct_blob()),
+                       ("verif", image.verif_blob())):
+        builder = _SectionBuilder(f"{LITTERBOX_SUPER}.{kind}", cursor,
+                                  Perm.R, LITTERBOX_SUPER, "meta")
+        builder.append(blob)
+        load = builder.finish()
+        super_sections.append(load)
+        cursor = page_align_up(load.section.end)
+    image.sections.extend(super_sections)
+    for load in super_sections:
+        graph.get(LITTERBOX_SUPER).add_section(load.section)
+    return image
+
+
+def page_align_word(size: int) -> int:
+    return (max(size, WORD) + WORD - 1) & ~(WORD - 1)
+
+
+def _require(symbols: dict[str, int], name: str) -> int:
+    addr = symbols.get(name)
+    if addr is None:
+        raise LinkError(f"undefined symbol {name!r}")
+    return addr

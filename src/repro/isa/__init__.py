@@ -1,0 +1,13 @@
+"""The simulated instruction set: opcodes, encoding, assembler, interpreter."""
+
+from repro.isa.asm import Asm, Label
+from repro.isa.instr import Instr, LabelRef, SymRef, encode_all, resolve
+from repro.isa.interp import GoroutineExit, Interpreter
+from repro.isa.opcodes import BINARY_ALU, Hook, INSTR_SIZE, Op, PKRU_WRITING_OPS
+
+__all__ = [
+    "Asm", "Label",
+    "Instr", "LabelRef", "SymRef", "encode_all", "resolve",
+    "GoroutineExit", "Interpreter",
+    "BINARY_ALU", "Hook", "INSTR_SIZE", "Op", "PKRU_WRITING_OPS",
+]

@@ -1,0 +1,63 @@
+"""Tiny assembler used by the Golite code generator and by tests.
+
+Supports forward label references inside one function body; labels
+resolve to :class:`LabelRef` instruction indices, which the linker later
+turns into absolute addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.isa.instr import Instr, LabelRef, Operand
+from repro.isa.opcodes import Op
+
+
+@dataclass
+class Label:
+    """A local jump target; placed at most once."""
+
+    name: str
+    index: int | None = None
+
+
+@dataclass
+class Asm:
+    """Accumulates instructions for one function."""
+
+    instrs: list[Instr] = field(default_factory=list)
+    _fixups: list[tuple[int, Label]] = field(default_factory=list)
+    _label_count: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def emit(self, op: Op, imm1: Operand = 0, imm2: int = 0) -> int:
+        """Append an instruction; returns its index."""
+        self.instrs.append(Instr(op, imm1, imm2))
+        return len(self.instrs) - 1
+
+    def new_label(self, hint: str = "L") -> Label:
+        self._label_count += 1
+        return Label(f"{hint}{self._label_count}")
+
+    def place(self, label: Label) -> None:
+        if label.index is not None:
+            raise CompileError(f"label {label.name} placed twice")
+        label.index = len(self.instrs)
+
+    def branch(self, op: Op, label: Label) -> None:
+        """Emit a branch to a (possibly not yet placed) label."""
+        index = self.emit(op, 0)
+        self._fixups.append((index, label))
+
+    def finish(self) -> list[Instr]:
+        """Resolve label fixups; returns the instruction list."""
+        for index, label in self._fixups:
+            if label.index is None:
+                raise CompileError(f"label {label.name} never placed")
+            old = self.instrs[index]
+            self.instrs[index] = Instr(old.op, LabelRef(label.index), old.imm2)
+        self._fixups.clear()
+        return self.instrs

@@ -1,0 +1,285 @@
+"""The fetch/decode/execute loop of the simulated CPU.
+
+Each executed instruction charges simulated time; loads, stores, and
+instruction fetches are permission-checked by the MMU against the
+CPU's current translation context, which is what makes enclosure
+memory views enforceable against arbitrary compiled code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import Fault, MachineHalt, SimError, WouldBlock
+from repro.hw.clock import COSTS, SimClock
+from repro.hw.cpu import CPU
+from repro.hw.mmu import MMU, wrap64
+from repro.isa.instr import Instr
+from repro.isa.opcodes import INSTR_SIZE, Op
+
+
+class GoroutineExit(SimError):
+    """The current goroutine returned from its top-level function."""
+
+
+_U64 = (1 << 64) - 1
+
+
+class Interpreter:
+    """Executes instructions against a :class:`CPU`."""
+
+    def __init__(self, mmu: MMU, clock: SimClock):
+        self.mmu = mmu
+        self.clock = clock
+        #: vaddr -> decoded instruction, filled by the loader.  Text pages
+        #: are never writable, so the cache cannot go stale.
+        self.code: dict[int, Instr] = {}
+
+    def register_code(self, base: int, instrs: list[Instr]) -> None:
+        for offset, instr in enumerate(instrs):
+            self.code[base + offset * INSTR_SIZE] = instr
+
+    # -- single step -------------------------------------------------------
+
+    def fetch(self, cpu: CPU) -> Instr:
+        self.mmu.check_exec(cpu.ctx, cpu.pc)
+        instr = self.code.get(cpu.pc)
+        if instr is None:
+            raw = self.mmu.read(cpu.ctx, cpu.pc, INSTR_SIZE, charge=False)
+            instr = Instr.decode(raw)
+            self.code[cpu.pc] = instr
+        return instr
+
+    def step(self, cpu: CPU) -> None:
+        """Execute exactly one instruction.
+
+        Raises :class:`WouldBlock` (instruction rolled back),
+        :class:`GoroutineExit`, :class:`MachineHalt`, or a
+        :class:`Fault`.
+        """
+        instr = self.fetch(cpu)
+        op = instr.op
+        imm1 = instr.imm1
+        imm2 = instr.imm2
+        clock = cpu.clock
+        next_pc = cpu.pc + INSTR_SIZE
+
+        if op == Op.PUSH:
+            clock.charge(COSTS.INSN)
+            cpu.push(imm1)
+        elif op == Op.LOADL:
+            cpu.push(self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * imm1))
+        elif op == Op.STOREL:
+            self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * imm1, cpu.pop())
+        elif op == Op.ADDRL:
+            clock.charge(COSTS.INSN)
+            cpu.push(cpu.fp + 16 + 8 * imm1)
+        elif op == Op.LOAD:
+            cpu.push(self.mmu.read_word(cpu.ctx, cpu.pop()))
+        elif op == Op.STORE:
+            value = cpu.pop()
+            addr = cpu.pop()
+            self.mmu.write_word(cpu.ctx, addr, value)
+        elif op == Op.LOAD1:
+            cpu.push(self.mmu.read_byte(cpu.ctx, cpu.pop()))
+        elif op == Op.STORE1:
+            value = cpu.pop()
+            addr = cpu.pop()
+            self.mmu.write_byte(cpu.ctx, addr, value)
+        elif op == Op.MEMCPY:
+            n = cpu.pop()
+            src = cpu.pop()
+            dst = cpu.pop()
+            if n < 0:
+                raise Fault("arith", "negative MEMCPY length")
+            self.mmu.memcpy(cpu.ctx, dst, src, n)
+        elif Op.ADD <= op <= Op.GE and op != Op.NEG and op != Op.NOT:
+            clock.charge(COSTS.INSN)
+            b = cpu.pop()
+            a = cpu.pop()
+            cpu.push(_binop(op, a, b))
+        elif op == Op.NEG:
+            clock.charge(COSTS.INSN)
+            cpu.push(wrap64(-cpu.pop()))
+        elif op == Op.NOT:
+            clock.charge(COSTS.INSN)
+            cpu.push(1 if cpu.pop() == 0 else 0)
+        elif op == Op.DROP:
+            clock.charge(COSTS.INSN)
+            cpu.pop()
+        elif op == Op.DUP:
+            clock.charge(COSTS.INSN)
+            cpu.push(cpu.peek())
+        elif op == Op.SWAP:
+            clock.charge(COSTS.INSN)
+            b = cpu.pop()
+            a = cpu.pop()
+            cpu.push(b)
+            cpu.push(a)
+        elif op == Op.JMP:
+            clock.charge(COSTS.INSN_BRANCH)
+            next_pc = imm1
+        elif op == Op.JZ:
+            clock.charge(COSTS.INSN_BRANCH)
+            if cpu.pop() == 0:
+                next_pc = imm1
+        elif op == Op.JNZ:
+            clock.charge(COSTS.INSN_BRANCH)
+            if cpu.pop() != 0:
+                next_pc = imm1
+        elif op == Op.CALL:
+            self._do_call(cpu, imm1, next_pc)
+            next_pc = imm1
+        elif op == Op.CALLCLO:
+            clo = cpu.pop()
+            code_addr = self.mmu.read_word(cpu.ctx, clo)
+            cpu.push(clo)  # hidden environment argument
+            self._do_call(cpu, code_addr, next_pc)
+            next_pc = code_addr
+        elif op == Op.RET:
+            clock.charge(COSTS.INSN_CALL)
+            ret_pc = self.mmu.read_word(cpu.ctx, cpu.fp + 8)
+            saved_fp = self.mmu.read_word(cpu.ctx, cpu.fp)
+            cpu.sp = cpu.fp
+            cpu.fp = saved_fp
+            if ret_pc == 0:
+                raise GoroutineExit()
+            next_pc = ret_pc
+        elif op == Op.ENTER:
+            clock.charge(COSTS.INSN)
+            nargs, nlocals = imm1, imm2
+            new_sp = cpu.fp + 16 + 8 * nlocals
+            cpu.check_stack(new_sp)
+            cpu.sp = new_sp
+            values = cpu.popn(nargs)
+            for slot, value in enumerate(values):
+                self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * slot, value,
+                                    charge=False)
+            clock.charge(COSTS.INSN_MEM * nargs)
+        elif op == Op.SYSCALL:
+            self._guarded(cpu, self._do_syscall, imm1)
+        elif op == Op.RTCALL:
+            self._guarded(cpu, self._do_rtcall, imm1, imm2)
+        elif op == Op.LBCALL:
+            self._guarded(cpu, self._do_lbcall, imm1, imm2)
+        elif op == Op.WRPKRU:
+            cpu.write_pkru(cpu.pop())
+        elif op == Op.RDPKRU:
+            cpu.push(cpu.read_pkru())
+        elif op == Op.NOP:
+            clock.charge(COSTS.INSN)
+        elif op == Op.HALT:
+            raise MachineHalt(cpu.pop())
+        else:  # pragma: no cover
+            raise Fault("exec", f"unknown opcode {op!r} at {cpu.pc:#x}")
+
+        cpu.pc = next_pc
+
+    # -- helpers -------------------------------------------------------------
+
+    def _do_call(self, cpu: CPU, target: int, ret_pc: int) -> None:
+        cpu.clock.charge(COSTS.INSN_CALL)
+        frame = cpu.sp
+        cpu.check_stack(frame + 16)
+        self.mmu.write_word(cpu.ctx, frame, cpu.fp, charge=False)
+        self.mmu.write_word(cpu.ctx, frame + 8, ret_pc, charge=False)
+        cpu.fp = frame
+        cpu.sp = frame + 16
+
+    def _guarded(self, cpu: CPU, action, *args) -> None:
+        """Run a popping action; on WouldBlock restore the operand stack
+        so the instruction can be retried after wake-up."""
+        saved = list(cpu.operands)
+        try:
+            action(cpu, *args)
+        except WouldBlock:
+            cpu.operands = saved
+            raise
+
+    def _do_syscall(self, cpu: CPU, nargs: int) -> None:
+        if cpu.syscall_handler is None:
+            raise Fault("syscall", "no syscall handler wired")
+        nr = cpu.pop()
+        args = tuple(cpu.popn(nargs))
+        cpu.push(wrap64(cpu.syscall_handler(cpu, nr, args)))
+
+    def _do_rtcall(self, cpu: CPU, service: int, nargs: int) -> None:
+        if cpu.rtcall_handler is None:
+            raise Fault("exec", "no runtime handler wired")
+        cpu.clock.charge(COSTS.RTCALL)
+        args = tuple(cpu.popn(nargs))
+        cpu.push(wrap64(cpu.rtcall_handler(cpu, service, args)))
+
+    def _do_lbcall(self, cpu: CPU, hook: int, nargs: int) -> None:
+        if cpu.lbcall_handler is None:
+            raise Fault("exec", "no LitterBox handler wired")
+        args = tuple(cpu.popn(nargs))
+        cpu.push(wrap64(cpu.lbcall_handler(cpu, hook, args)))
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self, cpu: CPU, max_steps: int = 50_000_000) -> int:
+        """Run a single-goroutine program until HALT.
+
+        Convenience driver for tests and simple programs; multi-goroutine
+        programs are driven by the scheduler instead.
+        """
+        steps = 0
+        try:
+            while steps < max_steps:
+                self.step(cpu)
+                steps += 1
+        except MachineHalt as halt:
+            cpu.halted = True
+            cpu.exit_code = halt.exit_code
+            return halt.exit_code
+        except GoroutineExit:
+            cpu.halted = True
+            return 0
+        raise Fault("exec", f"program exceeded {max_steps} steps")
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C/Go-style truncated integer division (round toward zero)."""
+    quotient = a // b
+    if quotient < 0 and quotient * b != a:
+        quotient += 1
+    return quotient
+
+
+def _binop(op: Op, a: int, b: int) -> int:
+    if op == Op.ADD:
+        return wrap64(a + b)
+    if op == Op.SUB:
+        return wrap64(a - b)
+    if op == Op.MUL:
+        return wrap64(a * b)
+    if op == Op.DIV:
+        if b == 0:
+            raise Fault("arith", "integer divide by zero")
+        return wrap64(_trunc_div(a, b))
+    if op == Op.MOD:
+        if b == 0:
+            raise Fault("arith", "integer modulo by zero")
+        return wrap64(a - _trunc_div(a, b) * b)
+    if op == Op.AND:
+        return wrap64(a & b)
+    if op == Op.OR:
+        return wrap64(a | b)
+    if op == Op.XOR:
+        return wrap64(a ^ b)
+    if op == Op.SHL:
+        return wrap64(a << (b & 63))
+    if op == Op.SHR:
+        return wrap64((a & _U64) >> (b & 63))
+    if op == Op.EQ:
+        return 1 if a == b else 0
+    if op == Op.NE:
+        return 1 if a != b else 0
+    if op == Op.LT:
+        return 1 if a < b else 0
+    if op == Op.LE:
+        return 1 if a <= b else 0
+    if op == Op.GT:
+        return 1 if a > b else 0
+    if op == Op.GE:
+        return 1 if a >= b else 0
+    raise Fault("exec", f"not a binary op: {op!r}")  # pragma: no cover

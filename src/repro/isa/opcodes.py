@@ -1,0 +1,97 @@
+"""Instruction set of the simulated stack machine.
+
+Values in flight live on a CPU-internal operand stack (the "register
+file"); call frames, locals, globals, and heap data live in simulated
+memory and are subject to the active execution environment's view.
+Instructions are fixed-width (16 bytes) so `.text` sections have real,
+page-aligned extents.
+"""
+
+from __future__ import annotations
+
+import enum
+
+INSTR_SIZE = 16
+
+
+class Op(enum.IntEnum):
+    NOP = 0
+    HALT = 1          # pop exit code; stop the program
+
+    # Constants and operand-stack shuffling.
+    PUSH = 2          # push imm1
+    DROP = 3
+    DUP = 4
+    SWAP = 5
+
+    # Frame-relative accesses (locals live in simulated memory).
+    LOADL = 6         # push mem[fp + 16 + 8*imm1]
+    STOREL = 7        # mem[fp + 16 + 8*imm1] = pop
+    ADDRL = 8         # push fp + 16 + 8*imm1
+
+    # Absolute accesses.
+    LOAD = 9          # pop addr; push mem64[addr]
+    STORE = 10        # pop value; pop addr; mem64[addr] = value
+    LOAD1 = 11        # pop addr; push mem8[addr]
+    STORE1 = 12       # pop value; pop addr; mem8[addr] = value
+    MEMCPY = 13       # pop n; pop src; pop dst
+
+    # Arithmetic / logic (binary ops pop b then a, push a OP b).
+    ADD = 20
+    SUB = 21
+    MUL = 22
+    DIV = 23
+    MOD = 24
+    AND = 25
+    OR = 26
+    XOR = 27
+    SHL = 28
+    SHR = 29
+    NEG = 30
+    NOT = 31          # logical: push 1 if pop == 0 else 0
+
+    # Comparisons (signed; push 0/1).
+    EQ = 40
+    NE = 41
+    LT = 42
+    LE = 43
+    GT = 44
+    GE = 45
+
+    # Control flow (imm1 = absolute target address).
+    JMP = 50
+    JZ = 51           # pop cond; jump if zero
+    JNZ = 52
+    CALL = 53         # imm1 = target
+    CALLCLO = 54      # pop closure ptr; imm2 = user-arg count
+    RET = 55
+    ENTER = 56        # imm1 = nargs, imm2 = nlocals (>= nargs)
+
+    # System interfaces.
+    SYSCALL = 60      # pop nr; pop imm1 args (reversed); push result
+    RTCALL = 61       # imm1 = runtime service id, imm2 = nargs
+    LBCALL = 62       # imm1 = LitterBox hook id, imm2 = nargs
+
+    # MPK register (only LitterBox-owned text may contain WRPKRU).
+    WRPKRU = 70       # pop value
+    RDPKRU = 71       # push value
+
+
+#: LitterBox hook ids for the LBCALL instruction (mirrors the API, §4.2).
+class Hook(enum.IntEnum):
+    PROLOG = 0
+    EPILOG = 1
+    TRANSFER = 2
+    EXECUTE = 3
+
+
+#: Opcodes that write the PKRU register.  The MPK backend scans every
+#: executable section at Init to ensure only LitterBox's own text
+#: contains them (ERIM-style binary inspection, §5.3).
+PKRU_WRITING_OPS = frozenset({Op.WRPKRU})
+
+BINARY_ALU = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
+    Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+    Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE,
+}

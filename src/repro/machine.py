@@ -1,0 +1,196 @@
+"""The assembled machine: hardware + OS + LitterBox + runtime + program.
+
+A :class:`Machine` loads one linked :class:`~repro.image.elf.ElfImage`
+and runs it under one of the paper's three configurations:
+
+* ``baseline`` — vanilla closures, no enforcement;
+* ``mpk``      — LitterBox over Intel MPK (``LBMPK``);
+* ``vtx``      — LitterBox over Intel VT-x / KVM (``LBVTX``);
+* ``lwc``      — LitterBox over light-weight contexts, the §8
+  hardware-agnostic alternative backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backends import Backend, BaselineBackend
+from repro.core.enclosure import LITTERBOX_SUPER
+from repro.core.lb_mpk import MPKBackend
+from repro.core.lb_vtx import VTXBackend
+from repro.core.litterbox import LitterBox
+from repro.errors import ConfigError, Fault
+from repro.hw.clock import COSTS, SimClock
+from repro.hw.cpu import CPU
+from repro.hw.mmu import MMU, TranslationContext
+from repro.hw.mpk import PKRU_ALLOW_ALL
+from repro.hw.pages import PAGE_SIZE
+from repro.hw.pagetable import PageTable
+from repro.hw.physmem import PhysicalMemory
+from repro.image.elf import ElfImage
+from repro.isa.interp import Interpreter
+from repro.isa.opcodes import Hook
+from repro.os.kernel import Kernel
+from repro.os.kvm import KVMDevice
+from repro.os.seccomp import ArgRule
+from repro.runtime.allocator import Allocator
+from repro.runtime.channels import ChannelTable
+from repro.runtime.runtime import Runtime, read_string
+from repro.runtime.scheduler import RunResult, Scheduler
+
+
+@dataclass
+class MachineConfig:
+    backend: str = "baseline"          # baseline | mpk | vtx | lwc
+    virtualize_keys: bool = False      # libmpk-style ablation (LBMPK)
+    arg_rules: list[ArgRule] | None = None  # §6.5 sysfilter extension
+
+
+class Machine:
+    """One simulated host running one program."""
+
+    def __init__(self, image: ElfImage,
+                 config: MachineConfig | str = "baseline"):
+        if isinstance(config, str):
+            config = MachineConfig(backend=config)
+        self.config = config
+        self.image = image
+        self.clock = SimClock()
+        self.physmem = PhysicalMemory()
+        self.mmu = MMU(self.physmem, self.clock)
+        self.kernel = Kernel(self.physmem, self.mmu, self.clock)
+        self.host_table = PageTable("host")
+        self.kernel.host_table = self.host_table
+        self.interp = Interpreter(self.mmu, self.clock)
+        self.cpu = CPU(mmu=self.mmu, clock=self.clock)
+        self.fault: Fault | None = None
+
+        self._load_image()
+
+        backend = self._make_backend(config)
+        self.backend = backend
+        self.litterbox = LitterBox(backend, self.kernel, self.mmu, self.clock)
+        self.litterbox.trusted_ctx = TranslationContext(
+            page_table=self.host_table, pkru=None)
+
+        pkru = PKRU_ALLOW_ALL if config.backend == "mpk" else None
+        self.cpu.ctx = TranslationContext(page_table=self.host_table,
+                                          pkru=pkru)
+        self.cpu.guest_mode = config.backend == "vtx"
+
+        self.litterbox.init(image)
+        if config.backend == "vtx":
+            vtx: VTXBackend = backend
+            self.cpu.ctx.page_table = vtx.trusted_table
+            self.cpu.ctx.ept = vtx.vm.vmcs.ept
+
+        # Runtime services.
+        self.pkg_names = sorted(image.graph.names())
+        self.allocator = Allocator(self.litterbox)
+        self.scheduler = Scheduler(self.cpu, self.interp, self.litterbox)
+        self.channels = ChannelTable(self.scheduler.wake)
+        self.runtime = Runtime(self.mmu, self.allocator, self.scheduler,
+                               self.channels, self.pkg_names)
+        self.kernel.net.waker = self.scheduler.wake
+
+        self.cpu.syscall_handler = lambda cpu, nr, args: \
+            self.backend.syscall(cpu, nr, args)
+        self.cpu.rtcall_handler = self.runtime.dispatch
+        self.cpu.lbcall_handler = self._lbcall
+
+    # ------------------------------------------------------------------ setup
+
+    def _make_backend(self, config: MachineConfig) -> Backend:
+        if config.backend == "baseline":
+            return BaselineBackend()
+        if config.backend == "mpk":
+            return MPKBackend(virtualize_keys=config.virtualize_keys,
+                              arg_rules=config.arg_rules)
+        if config.backend == "lwc":
+            from repro.core.lb_lwc import LWCBackend
+            return LWCBackend()
+        if config.backend == "vtx":
+            return VTXBackend(KVMDevice(self.kernel, self.clock),
+                              arg_rules=config.arg_rules)
+        raise ConfigError(f"unknown backend {config.backend!r}")
+
+    def _load_image(self) -> None:
+        """Map every linked section and copy its initial contents."""
+        for load in self.image.sections:
+            section = load.section
+            pfns = []
+            for _ in range(section.num_pages):
+                pfns.append(self.physmem.alloc_frame())
+            user = load.owner != LITTERBOX_SUPER
+            self.host_table.map_range(section.base, section.size, pfns,
+                                      section.perms, user=user)
+            self.physmem.write(pfns[0] * PAGE_SIZE, b"")  # touch
+            # Write contents page by page (frames may be discontiguous).
+            for index, pfn in enumerate(pfns):
+                chunk = load.data[index * PAGE_SIZE:(index + 1) * PAGE_SIZE]
+                self.physmem.write(pfn * PAGE_SIZE, chunk)
+        for addr, instrs in self.image.code_registry.items():
+            self.interp.register_code(addr, instrs)
+
+    # ------------------------------------------------------------------ LBCALL
+
+    def _lbcall(self, cpu: CPU, hook: int, args: tuple[int, ...]) -> int:
+        goroutine = self.scheduler.current
+        if goroutine is None:
+            raise Fault("exec", "LBCALL outside a goroutine")
+        if hook == Hook.PROLOG:
+            self.litterbox.prolog(cpu, goroutine, args[0], call_site=cpu.pc)
+            return 0
+        if hook == Hook.EPILOG:
+            self.litterbox.epilog(cpu, goroutine, call_site=cpu.pc)
+            return 0
+        raise Fault("exec", f"LBCALL with unexpected hook {hook}")
+
+    # ------------------------------------------------------------------ drive
+
+    def run(self, entry_symbol: str | None = None,
+            max_steps: int = 200_000_000) -> RunResult:
+        """Run the program's main goroutine to completion."""
+        entry = (self.image.symbols[entry_symbol]
+                 if entry_symbol else self.image.entry)
+        self.scheduler.spawn(entry, env=self.litterbox.trusted_env)
+        return self._finish(self.scheduler.run(max_total_steps=max_steps))
+
+    def resume(self, max_steps: int = 200_000_000) -> RunResult:
+        """Continue driving goroutines (servers) after injecting events."""
+        return self._finish(self.scheduler.run(
+            max_total_steps=max_steps, stop_when_main_exits=False))
+
+    def _finish(self, result: RunResult) -> RunResult:
+        if result.status == "faulted":
+            self.fault = result.fault
+            if self.config.backend == "vtx":
+                # A fault triggers a VM EXIT before the program aborts.
+                self.clock.tick("vm_exits", COSTS.VMEXIT_ROUNDTRIP)
+        return result
+
+    # ------------------------------------------------------------------ tools
+
+    def symbol(self, name: str) -> int:
+        return self.image.symbols[name]
+
+    def read_global(self, symbol: str) -> int:
+        return self.mmu.read_word(self.litterbox.trusted_ctx,
+                                  self.symbol(symbol), charge=False)
+
+    def write_global(self, symbol: str, value: int) -> None:
+        self.mmu.write_word(self.litterbox.trusted_ctx,
+                            self.symbol(symbol), value, charge=False)
+
+    def read_cstr(self, addr: int) -> bytes:
+        return read_string(self.mmu, self.litterbox.trusted_ctx, addr)
+
+    @property
+    def stdout(self) -> bytes:
+        return bytes(self.kernel.stdout)
+
+    def fault_trace(self) -> str:
+        """LitterBox's root-cause trace for an aborted program."""
+        if self.fault is None:
+            return ""
+        return f"litterbox: program aborted: {self.fault}"

@@ -1,0 +1,36 @@
+"""Simulated OS: kernel, filesystem, network, seccomp-BPF, KVM."""
+
+from repro.os import errno, syscalls
+from repro.os.fs import (
+    FileSystem,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+)
+from repro.os.kernel import Kernel, SocketState
+from repro.os.kvm import KVMDevice
+from repro.os.net import (
+    LOCALHOST,
+    CollectorService,
+    Connection,
+    Endpoint,
+    Listener,
+    Network,
+    ip_of,
+    ip_str,
+)
+from repro.os.seccomp import ArgRule, BpfInsn, BpfProgram, build_pkru_filter
+
+__all__ = [
+    "errno", "syscalls",
+    "FileSystem", "O_APPEND", "O_CREAT", "O_RDONLY", "O_RDWR", "O_TRUNC",
+    "O_WRONLY",
+    "Kernel", "SocketState",
+    "KVMDevice",
+    "CollectorService", "Connection", "Endpoint", "Listener", "Network",
+    "LOCALHOST", "ip_of", "ip_str",
+    "ArgRule", "BpfInsn", "BpfProgram", "build_pkru_filter",
+]

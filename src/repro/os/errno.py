@@ -1,0 +1,36 @@
+"""Errno values returned (negated) by the simulated kernel."""
+
+from __future__ import annotations
+
+EPERM = 1
+ENOENT = 2
+EBADF = 9
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+EEXIST = 17
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+ENOSYS = 38
+ENOTSOCK = 88
+EADDRINUSE = 98
+ECONNREFUSED = 111
+
+_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.isupper() and isinstance(value, int)
+}
+
+
+def errno_name(err: int) -> str:
+    """Human-readable name for a positive errno value."""
+    return _NAMES.get(err, f"errno{err}")
+
+
+def is_error(result: int) -> bool:
+    """Syscalls return negative errno values on failure."""
+    return result < 0

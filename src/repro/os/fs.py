@@ -1,0 +1,164 @@
+"""In-memory filesystem for the simulated kernel.
+
+Flat path -> contents mapping with Unix-ish open/read/write semantics;
+enough to host the secrets the §6.5 attacks steal (SSH/GPG keys) and the
+outputs the §6.4 Python workload writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.os import errno
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+_ACC_MASK = 0x3
+
+
+@dataclass
+class Inode:
+    """One regular file."""
+
+    path: str
+    data: bytearray = field(default_factory=bytearray)
+
+
+@dataclass
+class OpenFile:
+    """A file description (what an fd points at)."""
+
+    inode: Inode
+    flags: int
+    pos: int = 0
+
+    @property
+    def readable(self) -> bool:
+        return (self.flags & _ACC_MASK) in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return (self.flags & _ACC_MASK) in (O_WRONLY, O_RDWR)
+
+
+class FileSystem:
+    """The kernel's view of persistent storage."""
+
+    def __init__(self) -> None:
+        self._inodes: dict[str, Inode] = {}
+        self._dirs: set[str] = {"/"}
+
+    # -- host-side helpers (populate fixtures, inspect results) ----------
+
+    def add_file(self, path: str, data: bytes) -> None:
+        path = _normalize(path)
+        self._ensure_parents(path)
+        self._inodes[path] = Inode(path, bytearray(data))
+
+    def read_file(self, path: str) -> bytes:
+        inode = self._inodes.get(_normalize(path))
+        if inode is None:
+            raise FileNotFoundError(path)
+        return bytes(inode.data)
+
+    def exists(self, path: str) -> bool:
+        return _normalize(path) in self._inodes
+
+    def listdir(self, path: str) -> list[str]:
+        prefix = _normalize(path).rstrip("/") + "/"
+        names = set()
+        for p in self._inodes:
+            if p.startswith(prefix):
+                names.add(p[len(prefix):].split("/", 1)[0])
+        return sorted(names)
+
+    def paths(self) -> list[str]:
+        return sorted(self._inodes)
+
+    def _ensure_parents(self, path: str) -> None:
+        parts = path.split("/")[1:-1]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            self._dirs.add(current)
+
+    # -- syscall-level operations (return negative errno on failure) -----
+
+    def open(self, path: str, flags: int) -> "OpenFile | int":
+        path = _normalize(path)
+        inode = self._inodes.get(path)
+        if inode is None:
+            if not flags & O_CREAT:
+                return -errno.ENOENT
+            self._ensure_parents(path)
+            inode = Inode(path)
+            self._inodes[path] = inode
+        if flags & O_TRUNC and (flags & _ACC_MASK) != O_RDONLY:
+            inode.data.clear()
+        handle = OpenFile(inode, flags)
+        if flags & O_APPEND:
+            handle.pos = len(inode.data)
+        return handle
+
+    def stat_size(self, path: str) -> int:
+        inode = self._inodes.get(_normalize(path))
+        if inode is None:
+            return -errno.ENOENT
+        return len(inode.data)
+
+    def unlink(self, path: str) -> int:
+        path = _normalize(path)
+        if path not in self._inodes:
+            return -errno.ENOENT
+        del self._inodes[path]
+        return 0
+
+    def rename(self, old: str, new: str) -> int:
+        old, new = _normalize(old), _normalize(new)
+        inode = self._inodes.pop(old, None)
+        if inode is None:
+            return -errno.ENOENT
+        inode.path = new
+        self._ensure_parents(new)
+        self._inodes[new] = inode
+        return 0
+
+    def mkdir(self, path: str) -> int:
+        path = _normalize(path)
+        if path in self._dirs:
+            return -errno.EEXIST
+        self._dirs.add(path)
+        return 0
+
+    @staticmethod
+    def read_at(handle: OpenFile, count: int) -> bytes | int:
+        if not handle.readable:
+            return -errno.EACCES
+        data = bytes(handle.inode.data[handle.pos:handle.pos + count])
+        handle.pos += len(data)
+        return data
+
+    @staticmethod
+    def write_at(handle: OpenFile, data: bytes) -> int:
+        if not handle.writable:
+            return -errno.EACCES
+        pos = handle.pos
+        buf = handle.inode.data
+        if pos > len(buf):
+            buf.extend(bytes(pos - len(buf)))
+        buf[pos:pos + len(data)] = data
+        handle.pos += len(data)
+        return len(data)
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        path = "/" + path
+    while "//" in path:
+        path = path.replace("//", "/")
+    return path

@@ -1,0 +1,459 @@
+"""The simulated Linux-like kernel.
+
+A single-process kernel exposing the system calls the paper's workloads
+need: fd-based I/O on an in-memory filesystem and loopback network,
+memory management (``mmap`` + the MPK ``pkey_*`` family), identity and
+time.  An optional seccomp-BPF filter — built by LitterBox's MPK backend
+— is evaluated on *every* system call, with the caller's PKRU value in
+the filter's ``seccomp_data`` (kernel patch [45]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import KernelError, MachineHalt, SyscallFault, WouldBlock
+from repro.hw.clock import COSTS, SimClock
+from repro.hw.mmu import MMU, TranslationContext
+from repro.hw.mpk import PkeyAllocator
+from repro.hw.pages import PAGE_SIZE, Perm, page_align_up
+from repro.hw.pagetable import PageTable
+from repro.hw.physmem import PhysicalMemory
+from repro.os import errno
+from repro.os import syscalls as sc
+from repro.os.fs import FileSystem, OpenFile
+from repro.os.net import Connection, Listener, Network
+from repro.os.seccomp import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL,
+    BpfProgram,
+    encode_seccomp_data,
+)
+
+MMAP_BASE = 0x4000_0000
+UID = 1000
+PID = 4242
+
+
+@dataclass
+class SocketState:
+    """Kernel-side socket object behind a file descriptor."""
+
+    kind: str = "unbound"  # unbound | listening | connected
+    listener: Listener | None = None
+    endpoint = None  # net.Endpoint
+
+
+class Kernel:
+    """The host kernel of the simulation."""
+
+    def __init__(self, physmem: PhysicalMemory, mmu: MMU, clock: SimClock):
+        self.physmem = physmem
+        self.mmu = mmu
+        self.clock = clock
+        self.fs = FileSystem()
+        self.net = Network()
+        self.pkeys = PkeyAllocator()
+        self.stdout = bytearray()
+        self.seccomp_filter: BpfProgram | None = None
+        #: The host page table that ``pkey_mprotect`` retags (MPK mode).
+        self.host_table: PageTable | None = None
+        #: Called after mmap allocates frames so the backend can map the
+        #: new range into every page table that needs it.
+        #: Signature: (base, size, pfns) -> None.
+        self.mmap_hook: Callable[[int, int, list[int]], None] | None = None
+        self._fds: dict[int, object] = {}
+        self._next_fd = 3
+        self._mmap_cursor = MMAP_BASE
+        self._mappings: dict[int, int] = {}  # base -> size
+        self.syscall_log: list[int] = []
+
+        self._handlers: dict[int, Callable] = {
+            sc.SYS_READ: self._sys_read,
+            sc.SYS_WRITE: self._sys_write,
+            sc.SYS_CLOSE: self._sys_close,
+            sc.SYS_OPEN: self._sys_open,
+            sc.SYS_STAT: self._sys_stat,
+            sc.SYS_UNLINK: self._sys_unlink,
+            sc.SYS_RENAME: self._sys_rename,
+            sc.SYS_MKDIR: self._sys_mkdir,
+            sc.SYS_MMAP: self._sys_mmap,
+            sc.SYS_MUNMAP: self._sys_munmap,
+            sc.SYS_MPROTECT: self._sys_mprotect,
+            sc.SYS_PKEY_ALLOC: self._sys_pkey_alloc,
+            sc.SYS_PKEY_FREE: self._sys_pkey_free,
+            sc.SYS_PKEY_MPROTECT: self._sys_pkey_mprotect,
+            sc.SYS_SOCKET: self._sys_socket,
+            sc.SYS_BIND: self._sys_bind,
+            sc.SYS_LISTEN: self._sys_listen,
+            sc.SYS_ACCEPT: self._sys_accept,
+            sc.SYS_CONNECT: self._sys_connect,
+            sc.SYS_SENDTO: self._sys_sendto,
+            sc.SYS_RECVFROM: self._sys_recvfrom,
+            sc.SYS_SHUTDOWN: self._sys_shutdown,
+            sc.SYS_GETUID: self._sys_getuid,
+            sc.SYS_GETPID: self._sys_getpid,
+            sc.SYS_EXIT: self._sys_exit,
+            sc.SYS_EXIT_GROUP: self._sys_exit,
+            sc.SYS_CLOCK_GETTIME: self._sys_clock_gettime,
+            sc.SYS_NANOSLEEP: self._sys_nanosleep,
+            sc.SYS_FUTEX: self._sys_futex,
+        }
+
+    # -- entry point -------------------------------------------------------
+
+    def load_seccomp(self, program: BpfProgram) -> None:
+        """Install a seccomp filter (irrevocable, as on Linux)."""
+        if self.seccomp_filter is not None:
+            raise KernelError("seccomp filter already installed")
+        self.seccomp_filter = program
+
+    def syscall(self, nr: int, args: tuple[int, ...],
+                ctx: TranslationContext | None, pkru: int) -> int:
+        """Perform one host system call.
+
+        Charges the user->kernel round trip, evaluates the seccomp
+        filter (if installed) against ``(nr, args, pkru)``, then
+        dispatches.  Pointer arguments are dereferenced through ``ctx``'s
+        page table with kernel privileges (PKRU does not constrain the
+        kernel's copy_from_user path).
+        """
+        self.clock.charge(COSTS.HOST_SYSCALL)
+        self.clock.tick("syscalls")
+        self.syscall_log.append(nr)
+        if self.seccomp_filter is not None:
+            data = encode_seccomp_data(nr, args, pkru)
+            ret, executed = self.seccomp_filter.run(data)
+            self.clock.charge(
+                COSTS.SECCOMP_FIXED + COSTS.SECCOMP_BPF_INSN * executed)
+            action = ret & 0xFFFF0000
+            if action == SECCOMP_RET_KILL:
+                raise SyscallFault(
+                    f"seccomp killed {sc.syscall_name(nr)} "
+                    f"(pkru={pkru:#010x})", nr)
+            if action == SECCOMP_RET_ERRNO:
+                return -(ret & 0xFFFF)
+            if action != SECCOMP_RET_ALLOW:  # pragma: no cover
+                raise KernelError(f"unsupported seccomp action {ret:#x}")
+        handler = self._handlers.get(nr)
+        if handler is None:
+            return -errno.ENOSYS
+        kctx = self._kernel_ctx(ctx)
+        return handler(kctx, args)
+
+    @staticmethod
+    def _kernel_ctx(ctx: TranslationContext | None) -> TranslationContext | None:
+        """The kernel's copy path uses the user page table sans PKRU."""
+        if ctx is None:
+            return None
+        return TranslationContext(page_table=ctx.page_table, pkru=None,
+                                  ept=ctx.ept, user=True)
+
+    # -- user memory helpers -------------------------------------------------
+
+    def _copy_in(self, ctx: TranslationContext | None, addr: int,
+                 size: int) -> bytes:
+        if ctx is None:
+            raise KernelError("pointer syscall arg without a context")
+        return self.mmu.read(ctx, addr, size, charge=False)
+
+    def _copy_out(self, ctx: TranslationContext | None, addr: int,
+                  data: bytes) -> None:
+        if ctx is None:
+            raise KernelError("pointer syscall arg without a context")
+        self.mmu.write(ctx, addr, data, charge=False)
+
+    def _alloc_fd(self, obj: object) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = obj
+        return fd
+
+    def fd_object(self, fd: int) -> object | None:
+        return self._fds.get(fd)
+
+    # -- io ------------------------------------------------------------------
+
+    def _sys_read(self, ctx, args) -> int:
+        fd, buf, count = args[0], args[1], args[2]
+        obj = self._fds.get(fd)
+        if obj is None:
+            return -errno.EBADF
+        if isinstance(obj, OpenFile):
+            result = FileSystem.read_at(obj, count)
+            if isinstance(result, int):
+                return result
+            self.clock.charge(
+                COSTS.SYSCALL_SERVICE_MIN + COSTS.FS_BYTE * len(result))
+            self._copy_out(ctx, buf, result)
+            return len(result)
+        if isinstance(obj, SocketState) and obj.kind == "connected":
+            return self._recv_common(ctx, obj, buf, count)
+        return -errno.EINVAL
+
+    def _sys_write(self, ctx, args) -> int:
+        fd, buf, count = args[0], args[1], args[2]
+        if fd in (1, 2):
+            data = self._copy_in(ctx, buf, count)
+            self.stdout.extend(data)
+            self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+            return count
+        obj = self._fds.get(fd)
+        if obj is None:
+            return -errno.EBADF
+        if isinstance(obj, OpenFile):
+            data = self._copy_in(ctx, buf, count)
+            self.clock.charge(
+                COSTS.SYSCALL_SERVICE_MIN + COSTS.FS_BYTE * len(data))
+            return FileSystem.write_at(obj, data)
+        if isinstance(obj, SocketState) and obj.kind == "connected":
+            return self._send_common(ctx, obj, buf, count)
+        return -errno.EINVAL
+
+    def _sys_close(self, ctx, args) -> int:
+        fd = args[0]
+        obj = self._fds.pop(fd, None)
+        if obj is None:
+            return -errno.EBADF
+        if isinstance(obj, SocketState):
+            if obj.endpoint is not None:
+                obj.endpoint.close()
+            if obj.listener is not None:
+                self.net.unbind(obj.listener.port)
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return 0
+
+    # -- filesystem ------------------------------------------------------------
+
+    def _read_path(self, ctx, ptr: int, length: int) -> str:
+        raw = self._copy_in(ctx, ptr, length)
+        return raw.decode("utf-8", "replace")
+
+    def _sys_open(self, ctx, args) -> int:
+        path = self._read_path(ctx, args[0], args[1])
+        flags = args[2]
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        result = self.fs.open(path, flags)
+        if isinstance(result, int):
+            return result
+        return self._alloc_fd(result)
+
+    def _sys_stat(self, ctx, args) -> int:
+        path = self._read_path(ctx, args[0], args[1])
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return self.fs.stat_size(path)
+
+    def _sys_unlink(self, ctx, args) -> int:
+        path = self._read_path(ctx, args[0], args[1])
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return self.fs.unlink(path)
+
+    def _sys_rename(self, ctx, args) -> int:
+        old = self._read_path(ctx, args[0], args[1])
+        new = self._read_path(ctx, args[2], args[3])
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return self.fs.rename(old, new)
+
+    def _sys_mkdir(self, ctx, args) -> int:
+        path = self._read_path(ctx, args[0], args[1])
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return self.fs.mkdir(path)
+
+    # -- memory ------------------------------------------------------------------
+
+    def _sys_mmap(self, ctx, args) -> int:
+        length = args[1]
+        if length <= 0:
+            return -errno.EINVAL
+        size = page_align_up(length)
+        base = self._mmap_cursor
+        self._mmap_cursor += size + PAGE_SIZE  # guard page gap
+        pages = size // PAGE_SIZE
+        pfns = [self.physmem.alloc_frame() for _ in range(pages)]
+        self.clock.charge(COSTS.MMAP_PER_PAGE * pages)
+        self._mappings[base] = size
+        if self.mmap_hook is not None:
+            self.mmap_hook(base, size, pfns)
+        elif self.host_table is not None:
+            self.host_table.map_range(base, size, pfns, Perm.RW)
+        else:
+            raise KernelError("mmap with no page table registered")
+        return base
+
+    def _sys_munmap(self, ctx, args) -> int:
+        base, length = args[0], args[1]
+        size = self._mappings.pop(base, None)
+        if size is None or size != page_align_up(length):
+            return -errno.EINVAL
+        if self.host_table is not None:
+            self.host_table.unmap_range(base, size)
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return 0
+
+    def _sys_mprotect(self, ctx, args) -> int:
+        base, length, prot = args[0], args[1], args[2]
+        if self.host_table is None:
+            return -errno.EINVAL
+        updated = self.host_table.protect_range(
+            base, page_align_up(length), Perm(prot))
+        self.clock.charge(COSTS.PTE_UPDATE * updated)
+        return 0
+
+    def _sys_pkey_alloc(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        try:
+            return self.pkeys.alloc()
+        except Exception:
+            return -errno.ENOMEM
+
+    def _sys_pkey_free(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        try:
+            self.pkeys.free(args[0])
+        except Exception:
+            return -errno.EINVAL
+        return 0
+
+    def _sys_pkey_mprotect(self, ctx, args) -> int:
+        base, length, prot, key = args[0], args[1], args[2], args[3]
+        if self.host_table is None:
+            return -errno.EINVAL
+        if not self.pkeys.is_allocated(key):
+            return -errno.EINVAL
+        size = page_align_up(length)
+        self.host_table.protect_range(base, size, Perm(prot))
+        updated = self.host_table.set_pkey_range(base, size, key)
+        self.clock.charge(COSTS.PKEY_SET_PAGE * updated)
+        return 0
+
+    # -- network ------------------------------------------------------------------
+
+    def _sys_socket(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return self._alloc_fd(SocketState())
+
+    def _sock(self, fd: int) -> SocketState | int:
+        obj = self._fds.get(fd)
+        if obj is None:
+            return -errno.EBADF
+        if not isinstance(obj, SocketState):
+            return -errno.ENOTSOCK
+        return obj
+
+    def _sys_bind(self, ctx, args) -> int:
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        port = args[1]
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        result = self.net.bind_listen(port, backlog=128)
+        if isinstance(result, int):
+            return result
+        sock.kind = "listening"
+        sock.listener = result
+        return 0
+
+    def _sys_listen(self, ctx, args) -> int:
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        if sock.kind != "listening":
+            return -errno.EINVAL
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        sock.listener.backlog = max(1, args[1])
+        return 0
+
+    def _sys_accept(self, ctx, args) -> int:
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        if sock.kind != "listening" or sock.listener is None:
+            return -errno.EINVAL
+        conn = Network.accept(sock.listener)
+        if conn is None:
+            raise WouldBlock(sock.listener.wait_key)
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        new = SocketState(kind="connected")
+        new.endpoint = conn.server
+        return self._alloc_fd(new)
+
+    def _sys_connect(self, ctx, args) -> int:
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        ip, port = args[1], args[2]
+        self.clock.charge(COSTS.NET_SETUP)
+        result = self.net.connect(ip, port)
+        if isinstance(result, int):
+            return result
+        sock.kind = "connected"
+        sock.endpoint = result.client
+        return 0
+
+    def _send_common(self, ctx, sock: SocketState, buf: int, count: int) -> int:
+        data = self._copy_in(ctx, buf, count)
+        self.clock.charge(
+            COSTS.SYSCALL_SERVICE_MIN + COSTS.NET_BYTE * len(data))
+        return sock.endpoint.send(data)
+
+    def _recv_common(self, ctx, sock: SocketState, buf: int, count: int) -> int:
+        result = sock.endpoint.recv(count)
+        if result is None:
+            raise WouldBlock(sock.endpoint.wait_key)
+        self.clock.charge(
+            COSTS.SYSCALL_SERVICE_MIN + COSTS.NET_BYTE * len(result))
+        if result:
+            self._copy_out(ctx, buf, result)
+        return len(result)
+
+    def _sys_sendto(self, ctx, args) -> int:
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        if sock.kind != "connected":
+            return -errno.EINVAL
+        return self._send_common(ctx, sock, args[1], args[2])
+
+    def _sys_recvfrom(self, ctx, args) -> int:
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        if sock.kind != "connected":
+            return -errno.EINVAL
+        return self._recv_common(ctx, sock, args[1], args[2])
+
+    def _sys_shutdown(self, ctx, args) -> int:
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        if sock.endpoint is not None:
+            sock.endpoint.close()
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return 0
+
+    # -- identity / time / sync -----------------------------------------------
+
+    def _sys_getuid(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return UID
+
+    def _sys_getpid(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return PID
+
+    def _sys_exit(self, ctx, args) -> int:
+        raise MachineHalt(args[0] if args else 0)
+
+    def _sys_clock_gettime(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return int(self.clock.now_ns)
+
+    def _sys_nanosleep(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN + args[0])
+        return 0
+
+    def _sys_futex(self, ctx, args) -> int:
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN * 2)
+        return 0

@@ -1,0 +1,43 @@
+"""KVM-like device: hosts the single VM that LBVTX runs the app in.
+
+``LBVTX`` "relies on Linux's Kernel-based Virtual Machine (KVM) module
+for Intel VT-x to create a virtual machine in which the application
+executes" (§5.3).  The device wires the VM's hypercall path to the host
+kernel so guest-filtered system calls are "passed through to the host
+via a hypercall (VM EXIT)".
+"""
+
+from __future__ import annotations
+
+from repro.hw.clock import SimClock
+from repro.hw.mmu import TranslationContext
+from repro.hw.vtx import VirtualMachine
+from repro.os.kernel import Kernel
+
+
+class KVMDevice:
+    """Factory + plumbing for the application VM."""
+
+    def __init__(self, kernel: Kernel, clock: SimClock):
+        self.kernel = kernel
+        self.clock = clock
+        self.vm: VirtualMachine | None = None
+
+    def create_vm(self) -> VirtualMachine:
+        if self.vm is not None:
+            raise RuntimeError("LBVTX uses a single VM per application")
+        self.vm = VirtualMachine(self.clock)
+        return self.vm
+
+    def forward_syscall(self, nr: int, args: tuple[int, ...],
+                        ctx: TranslationContext) -> int:
+        """Service a guest hypercall in root mode.
+
+        The guest OS (LitterBox's super package) has already filtered
+        the call; the host performs it "in root user mode, which then
+        returns to the VM with the results (VM RESUME)".  The PKRU value
+        is irrelevant here (no seccomp filter is loaded in VTX mode).
+        """
+        assert self.vm is not None
+        self.vm.vm_exit(reason=None)  # accounts EXIT + RESUME
+        return self.kernel.syscall(nr, args, ctx, pkru=0)

@@ -1,0 +1,218 @@
+"""Loopback network stack for the simulated kernel.
+
+Supports two kinds of peers:
+
+* **in-simulation servers** (the Golite HTTP servers): they ``bind`` /
+  ``listen`` / ``accept`` / ``recvfrom`` / ``sendto`` through system
+  calls, and blocking operations park the calling goroutine until the
+  network wakes it;
+* **host-level services** (the simulated Postgres, the attacker's
+  "remote" exfiltration collector): Python objects registered on a port
+  whose ``on_data`` callback runs synchronously when bytes arrive.
+
+Addresses are ``(ip: int, port: int)`` pairs; ``ip`` is an IPv4 address
+packed into an int (see :func:`ip_of`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import ConfigError
+from repro.os import errno
+
+
+def ip_of(dotted: str) -> int:
+    """Pack ``"127.0.0.1"`` into an integer address."""
+    parts = [int(p) for p in dotted.split(".")]
+    if len(parts) != 4 or any(not 0 <= p < 256 for p in parts):
+        raise ConfigError(f"bad IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        value = (value << 8) | part
+    return value
+
+
+def ip_str(ip: int) -> str:
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+LOCALHOST = ip_of("127.0.0.1")
+
+
+class Service(Protocol):
+    """A host-level network service attached to a port."""
+
+    def on_connect(self, endpoint: "Endpoint") -> None: ...
+
+    def on_data(self, endpoint: "Endpoint") -> None: ...
+
+
+@dataclass
+class Endpoint:
+    """One side of a connection: a receive buffer plus a peer link."""
+
+    conn: "Connection"
+    side: int  # 0 or 1
+    rx: bytearray = field(default_factory=bytearray)
+    closed: bool = False
+
+    @property
+    def peer(self) -> "Endpoint":
+        return self.conn.endpoints[1 - self.side]
+
+    @property
+    def wait_key(self) -> tuple:
+        return ("net_rx", id(self))
+
+    def send(self, data: bytes) -> int:
+        """Deliver bytes to the peer's receive buffer."""
+        if self.closed or self.peer.closed:
+            return -errno.ECONNREFUSED
+        self.peer.rx.extend(data)
+        self.conn.network._delivered(self.peer)
+        return len(data)
+
+    def recv(self, count: int) -> bytes | None:
+        """Take up to ``count`` buffered bytes.
+
+        Returns ``b""`` at orderly EOF (peer closed, buffer drained) and
+        ``None`` when the caller should block.
+        """
+        if self.rx:
+            data = bytes(self.rx[:count])
+            del self.rx[:count]
+            return data
+        if self.peer.closed or self.closed:
+            return b""
+        return None
+
+    def close(self) -> None:
+        self.closed = True
+        self.conn.network._delivered(self.peer)  # wake peer (sees EOF)
+
+
+@dataclass
+class Connection:
+    """A bidirectional byte stream between two endpoints."""
+
+    network: "Network"
+    remote_ip: int
+    remote_port: int
+    endpoints: list[Endpoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.endpoints = [Endpoint(self, 0), Endpoint(self, 1)]
+
+    @property
+    def client(self) -> Endpoint:
+        return self.endpoints[0]
+
+    @property
+    def server(self) -> Endpoint:
+        return self.endpoints[1]
+
+
+@dataclass
+class Listener:
+    """An in-simulation listening socket's accept queue."""
+
+    port: int
+    backlog: int
+    pending: list[Connection] = field(default_factory=list)
+
+    @property
+    def wait_key(self) -> tuple:
+        return ("net_accept", self.port)
+
+
+class Network:
+    """The loopback network fabric."""
+
+    def __init__(self) -> None:
+        self._listeners: dict[int, Listener] = {}
+        self._services: dict[tuple[int, int], Service] = {}
+        self._service_endpoints: dict[int, Service] = {}
+        self.waker: Callable[[tuple], None] | None = None
+        self.connections_log: list[tuple[int, int]] = []
+
+    # -- host-side wiring -------------------------------------------------
+
+    def register_service(self, ip: int, port: int, service: Service) -> None:
+        """Attach a Python-level service to ``(ip, port)``."""
+        self._services[(ip, port)] = service
+
+    def _wake(self, key: tuple) -> None:
+        if self.waker is not None:
+            self.waker(key)
+
+    def _delivered(self, endpoint: Endpoint) -> None:
+        """Bytes arrived at ``endpoint``: wake sim waiters / run services."""
+        service = self._service_endpoints.get(id(endpoint))
+        if service is not None:
+            service.on_data(endpoint)
+        else:
+            self._wake(endpoint.wait_key)
+
+    # -- kernel-facing operations ------------------------------------------
+
+    def bind_listen(self, port: int, backlog: int) -> Listener | int:
+        if port in self._listeners or (LOCALHOST, port) in self._services:
+            return -errno.EADDRINUSE
+        listener = Listener(port, backlog)
+        self._listeners[port] = listener
+        return listener
+
+    def unbind(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def connect(self, ip: int, port: int) -> Connection | int:
+        """Open a connection from inside the simulation (or from a host
+        load generator) to ``(ip, port)``."""
+        self.connections_log.append((ip, port))
+        service = self._services.get((ip, port))
+        if service is not None:
+            conn = Connection(self, ip, port)
+            self._service_endpoints[id(conn.server)] = service
+            service.on_connect(conn.server)
+            return conn
+        listener = self._listeners.get(port)
+        if listener is not None and ip == LOCALHOST:
+            if len(listener.pending) >= listener.backlog:
+                return -errno.ECONNREFUSED
+            conn = Connection(self, ip, port)
+            listener.pending.append(conn)
+            self._wake(listener.wait_key)
+            return conn
+        return -errno.ECONNREFUSED
+
+    @staticmethod
+    def accept(listener: Listener) -> Connection | None:
+        """Dequeue a pending connection; ``None`` if the caller should block."""
+        if listener.pending:
+            return listener.pending.pop(0)
+        return None
+
+
+class CollectorService:
+    """A generic host service that records everything it receives.
+
+    Used as the attacker-controlled "remote server" in the §6.5 study and
+    as a simple echo peer in tests.
+    """
+
+    def __init__(self, reply: bytes = b"") -> None:
+        self.received = bytearray()
+        self.connections = 0
+        self.reply = reply
+
+    def on_connect(self, endpoint: Endpoint) -> None:
+        self.connections += 1
+
+    def on_data(self, endpoint: Endpoint) -> None:
+        data = endpoint.recv(1 << 20)
+        if data:
+            self.received.extend(data)
+            if self.reply:
+                endpoint.send(self.reply)

@@ -1,0 +1,129 @@
+"""System call numbers and the paper's SysFilter categories.
+
+The paper groups system calls "into categories around logical services,
+e.g., file for filesystem operations, net for network access, or mem
+for calls such as mmap and mprotect" (§2.2).  ``CATEGORY_OF`` is the
+ground truth the policy compiler and the seccomp filter builder share.
+
+Numbers follow the x86-64 Linux ABI where one exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+
+# I/O on file descriptors.
+SYS_READ = 0
+SYS_WRITE = 1
+SYS_CLOSE = 3
+SYS_IOCTL = 16
+
+# Filesystem namespace.
+SYS_OPEN = 2
+SYS_STAT = 4
+SYS_GETDENTS = 78
+SYS_RENAME = 82
+SYS_MKDIR = 83
+SYS_UNLINK = 87
+
+# Memory management.
+SYS_MMAP = 9
+SYS_MPROTECT = 10
+SYS_MUNMAP = 11
+SYS_BRK = 12
+SYS_PKEY_MPROTECT = 329
+SYS_PKEY_ALLOC = 330
+SYS_PKEY_FREE = 331
+
+# Networking.
+SYS_SOCKET = 41
+SYS_CONNECT = 42
+SYS_ACCEPT = 43
+SYS_SENDTO = 44
+SYS_RECVFROM = 45
+SYS_SHUTDOWN = 48
+SYS_BIND = 49
+SYS_LISTEN = 50
+
+# Process / identity.
+SYS_GETPID = 39
+SYS_EXIT = 60
+SYS_GETUID = 102
+SYS_EXIT_GROUP = 231
+
+# Time.
+SYS_NANOSLEEP = 35
+SYS_CLOCK_GETTIME = 228
+
+# Synchronization.
+SYS_FUTEX = 202
+
+#: nr -> category name.  Every simulated syscall appears exactly once.
+CATEGORY_OF: dict[int, str] = {
+    SYS_READ: "io",
+    SYS_WRITE: "io",
+    SYS_CLOSE: "io",
+    SYS_IOCTL: "io",
+    SYS_OPEN: "file",
+    SYS_STAT: "file",
+    SYS_GETDENTS: "file",
+    SYS_RENAME: "file",
+    SYS_MKDIR: "file",
+    SYS_UNLINK: "file",
+    SYS_MMAP: "mem",
+    SYS_MPROTECT: "mem",
+    SYS_MUNMAP: "mem",
+    SYS_BRK: "mem",
+    SYS_PKEY_MPROTECT: "mem",
+    SYS_PKEY_ALLOC: "mem",
+    SYS_PKEY_FREE: "mem",
+    SYS_SOCKET: "net",
+    SYS_CONNECT: "net",
+    SYS_ACCEPT: "net",
+    SYS_SENDTO: "net",
+    SYS_RECVFROM: "net",
+    SYS_SHUTDOWN: "net",
+    SYS_BIND: "net",
+    SYS_LISTEN: "net",
+    SYS_GETPID: "proc",
+    SYS_EXIT: "proc",
+    SYS_GETUID: "proc",
+    SYS_EXIT_GROUP: "proc",
+    SYS_NANOSLEEP: "time",
+    SYS_CLOCK_GETTIME: "time",
+    SYS_FUTEX: "sync",
+}
+
+#: Category -> sorted syscall numbers.
+CATEGORIES: dict[str, list[int]] = {}
+for _nr, _cat in CATEGORY_OF.items():
+    CATEGORIES.setdefault(_cat, []).append(_nr)
+for _cat in CATEGORIES:
+    CATEGORIES[_cat].sort()
+
+ALL_CATEGORIES = frozenset(CATEGORIES)
+ALL_SYSCALLS = frozenset(CATEGORY_OF)
+
+#: Symbolic names for diagnostics.
+NAME_OF: dict[int, str] = {
+    value: name[4:].lower()
+    for name, value in list(globals().items())
+    if name.startswith("SYS_") and isinstance(value, int)
+}
+
+
+def syscall_name(nr: int) -> str:
+    return NAME_OF.get(nr, f"sys_{nr}")
+
+
+def syscalls_for_categories(categories: frozenset[str] | set[str]) -> frozenset[int]:
+    """Expand a set of SysFilter categories into allowed syscall numbers."""
+    allowed: set[int] = set()
+    for category in categories:
+        try:
+            allowed.update(CATEGORIES[category])
+        except KeyError:
+            raise PolicyError(
+                f"unknown syscall category {category!r}; "
+                f"valid: {sorted(ALL_CATEGORIES)}") from None
+    return frozenset(allowed)

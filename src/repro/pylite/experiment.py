@@ -1,0 +1,109 @@
+"""The §6.4 Python-enclosure experiment.
+
+"Consider a Python program with a single enclosure that encapsulates
+the use of the matplotlib module.  User sensitive data from a secret
+module is shared read-only with a closure that generates a plot from
+the data and writes the result to disk."
+
+Modes:
+
+* ``python``       — stock CPython baseline (no enclosure);
+* ``conservative`` — secret shared read-only; every refcount/GC-link
+                     update on its objects pays two trusted switches;
+* ``optimized``    — secret mapped read-write, refcount switches gone;
+                     the remaining cost is the delayed initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pylite.interp import Interpreter
+from repro.pylite.machine import PyMachine
+
+PLOTUTIL_SOURCE = """
+def axis_label(total):
+    return "sum=" + str(total)
+"""
+
+PLOT_SOURCE = """
+import plotutil
+
+def render(data):
+    width = len(data)
+    total = 0
+    peak = 0
+    i = 0
+    while i < width:
+        v = data[i]
+        total = total + v
+        if v > peak:
+            peak = v
+        i = i + 1
+    svg = "<svg>" + plotutil.axis_label(total) + ":" + str(peak) + "</svg>"
+    write_file("/out/plot.svg", svg)
+    return svg
+"""
+
+
+def secret_source(points: int) -> str:
+    values = ", ".join(str((i * 37) % 251) for i in range(points))
+    return f"data = [{values}]\n"
+
+
+def main_source(mode: str) -> str:
+    if mode == "python":
+        call = "out = plot.render(secret.data)"
+    elif mode == "conservative":
+        call = ('inv = enclosure("secret:R, io file", plot.render)\n'
+                "out = inv(secret.data)")
+    elif mode == "optimized":
+        call = ('inv = enclosure("secret:RW, io file", plot.render)\n'
+                "out = inv(secret.data)")
+    else:
+        raise ValueError(mode)
+    return f"import secret\nimport plot\n{call}\n"
+
+
+@dataclass
+class ExperimentResult:
+    mode: str
+    points: int
+    total_ns: float
+    switches: int
+    refcount_switches: int
+    init_ns: float
+    syscall_ns: float
+    svg: str
+
+    @property
+    def init_fraction(self) -> float:
+        return self.init_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def syscall_fraction(self) -> float:
+        return self.syscall_ns / self.total_ns if self.total_ns else 0.0
+
+
+def run_experiment(mode: str, points: int = 2000) -> ExperimentResult:
+    machine = PyMachine("python" if mode == "python" else mode)
+    interp = Interpreter(machine)
+    interp.add_source("secret", secret_source(points))
+    interp.add_source("plotutil", PLOTUTIL_SOURCE)
+    interp.add_source("plot", PLOT_SOURCE)
+    start = machine.clock.now_ns
+    interp.run_main(main_source(mode))
+    total = machine.clock.now_ns - start
+    out = interp.machine.modules["__main__"].namespace.get("out")
+    svg = interp.str_value(out) if isinstance(out, int) else ""
+    assert machine.kernel.fs.exists("/out/plot.svg")
+    return ExperimentResult(
+        mode=mode,
+        points=points,
+        total_ns=total,
+        switches=machine.clock.count("switches"),
+        refcount_switches=machine.clock.count("refcount_switches"),
+        init_ns=machine.init_ns,
+        syscall_ns=machine.syscall_ns,
+        svg=svg,
+    )

@@ -1,0 +1,13 @@
+"""Language runtime: allocator, scheduler, channels, RTCALL services."""
+
+from repro.runtime.allocator import Allocator, SIZE_CLASSES, SPAN_PAGES, SPAN_SIZE, Span
+from repro.runtime.channels import Channel, ChannelTable
+from repro.runtime.runtime import RT, Runtime, read_string
+from repro.runtime.scheduler import Goroutine, RunResult, Scheduler
+
+__all__ = [
+    "Allocator", "SIZE_CLASSES", "SPAN_PAGES", "SPAN_SIZE", "Span",
+    "Channel", "ChannelTable",
+    "RT", "Runtime", "read_string",
+    "Goroutine", "RunResult", "Scheduler",
+]

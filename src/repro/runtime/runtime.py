@@ -1,0 +1,265 @@
+"""Runtime services reachable from compiled code via RTCALL.
+
+These model the parts of a Go-like runtime that are linked into every
+binary: the allocator entry point (``mallocgc``), goroutine creation,
+channels, and string/slice helpers.  Helpers act *on behalf of* the
+calling code: every read or write of user-visible data goes through the
+caller's translation context, so a string concatenation inside an
+enclosure faults if either operand lies outside its memory view.
+Only allocator/scheduler metadata is runtime-private (trusted), exactly
+as in the paper's threat model.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.errors import Fault, WouldBlock
+from repro.hw.clock import COSTS
+from repro.hw.cpu import CPU
+from repro.hw.mmu import MMU, TranslationContext
+from repro.os.syscalls import SYS_WRITE
+from repro.runtime.allocator import Allocator
+from repro.runtime.channels import ChannelTable
+from repro.runtime.scheduler import Scheduler
+
+
+class RT(enum.IntEnum):
+    """Runtime service numbers for the RTCALL instruction."""
+
+    ALLOC = 1          # (pkg_id, size) -> addr
+    GO = 2             # (fn_addr, argc, *args) -> 0
+    CHAN_NEW = 3       # (capacity) -> handle
+    CHAN_SEND = 4      # (handle, value) -> 0
+    CHAN_RECV = 5      # (handle) -> value
+    CHAN_CLOSE = 6     # (handle) -> 0
+    CHAN_LEN = 7       # (handle) -> buffered count
+    STR_CONCAT = 10    # (pkg_id, a, b) -> addr
+    STR_EQ = 11        # (a, b) -> 0/1
+    STR_CMP = 12       # (a, b) -> -1/0/1
+    STR_SUB = 13       # (pkg_id, s, lo, hi) -> addr
+    STR_AT = 14        # (s, i) -> byte
+    STR_FROM_BYTES = 15  # (pkg_id, ptr, len) -> addr
+    ITOA = 16          # (pkg_id, n) -> addr
+    ATOI = 17          # (s) -> int
+    PRINT = 18         # (s) -> bytes written (write syscall to stdout)
+    SLICE_NEW = 20     # (pkg_id, elem_size, len, cap) -> desc addr
+    SLICE_APPEND = 21  # (pkg_id, desc, elem_size, value) -> desc
+    SLICE_AT = 22      # (desc, elem_size, i) -> value
+    SLICE_PUT = 23     # (desc, elem_size, i, value) -> 0
+    STR_FROM_SLICE = 24  # (pkg_id, desc) -> string addr
+    SLICE_FROM_STR = 25  # (pkg_id, s) -> []byte desc addr
+    SLICE_COPY = 26    # (dst_desc, src_desc, elem_size) -> copied count
+    PANIC = 30         # (code) -> aborts
+
+
+# String layout: [len:i64][bytes].  Slice descriptor: [data,len,cap].
+STR_HEADER = 8
+SLICE_DESC = 24
+
+
+def read_string(mmu: MMU, ctx: TranslationContext, addr: int) -> bytes:
+    length = mmu.read_word(ctx, addr, charge=False)
+    if length < 0 or length > (1 << 32):
+        raise Fault("arith", f"corrupt string header at {addr:#x}")
+    return mmu.read(ctx, addr + STR_HEADER, length, charge=False)
+
+
+class Runtime:
+    """Dispatch target for the RTCALL instruction."""
+
+    def __init__(self, mmu: MMU, allocator: Allocator, scheduler: Scheduler,
+                 channels: ChannelTable, pkg_names: list[str]):
+        self.mmu = mmu
+        self.clock = mmu.clock
+        self.allocator = allocator
+        self.scheduler = scheduler
+        self.channels = channels
+        self.pkg_names = pkg_names
+
+    # -- helpers shared with the machine ----------------------------------
+
+    def pkg_name(self, pkg_id: int) -> str:
+        try:
+            return self.pkg_names[pkg_id]
+        except IndexError:
+            raise Fault("exec", f"bad package id {pkg_id}") from None
+
+    def new_string(self, ctx: TranslationContext, pkg: str,
+                   data: bytes) -> int:
+        addr = self.allocator.alloc(pkg, STR_HEADER + max(1, len(data)))
+        self.mmu.write_word(ctx, addr, len(data), charge=False)
+        if data:
+            self.mmu.write(ctx, addr + STR_HEADER, data, charge=False)
+        self.clock.charge(COSTS.MEM_BYTE * len(data))
+        return addr
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, cpu: CPU, service: int, args: tuple[int, ...]) -> int:
+        ctx = cpu.ctx
+        mmu = self.mmu
+        if service == RT.ALLOC:
+            pkg_id, size = args
+            return self.allocator.alloc(self.pkg_name(pkg_id), size)
+        if service == RT.GO:
+            fn_addr, argc = args[0], args[1]
+            self.scheduler.spawn(fn_addr, tuple(args[2:2 + argc]))
+            return 0
+        if service == RT.CHAN_NEW:
+            return self.channels.new(args[0])
+        if service == RT.CHAN_SEND:
+            self.channels.send(args[0], args[1])
+            return 0
+        if service == RT.CHAN_RECV:
+            return self.channels.recv(args[0])
+        if service == RT.CHAN_CLOSE:
+            self.channels.close(args[0])
+            return 0
+        if service == RT.CHAN_LEN:
+            return self.channels.pending(args[0])
+        if service == RT.STR_CONCAT:
+            pkg_id, a, b = args
+            data = read_string(mmu, ctx, a) + read_string(mmu, ctx, b)
+            self.clock.charge(COSTS.MEM_BYTE * len(data))
+            return self.new_string(ctx, self.pkg_name(pkg_id), data)
+        if service == RT.STR_EQ:
+            a, b = args
+            return 1 if read_string(mmu, ctx, a) == \
+                read_string(mmu, ctx, b) else 0
+        if service == RT.STR_CMP:
+            left = read_string(mmu, ctx, args[0])
+            right = read_string(mmu, ctx, args[1])
+            return -1 if left < right else (1 if left > right else 0)
+        if service == RT.STR_SUB:
+            pkg_id, s, lo, hi = args
+            data = read_string(mmu, ctx, s)
+            if not 0 <= lo <= hi <= len(data):
+                raise Fault("arith", f"substring bounds [{lo}:{hi}] "
+                                     f"of {len(data)}-byte string")
+            return self.new_string(ctx, self.pkg_name(pkg_id), data[lo:hi])
+        if service == RT.STR_AT:
+            s, index = args
+            length = mmu.read_word(ctx, s, charge=False)
+            if not 0 <= index < length:
+                raise Fault("arith", f"string index {index} out of "
+                                     f"range [0,{length})")
+            return mmu.read_byte(ctx, s + STR_HEADER + index)
+        if service == RT.STR_FROM_BYTES:
+            pkg_id, ptr, length = args
+            data = mmu.read(ctx, ptr, length, charge=False)
+            self.clock.charge(COSTS.MEM_BYTE * length)
+            return self.new_string(ctx, self.pkg_name(pkg_id), data)
+        if service == RT.ITOA:
+            pkg_id, value = args
+            return self.new_string(ctx, self.pkg_name(pkg_id),
+                                   str(value).encode())
+        if service == RT.ATOI:
+            data = read_string(mmu, ctx, args[0])
+            try:
+                return int(data.strip() or b"0")
+            except ValueError:
+                return 0
+        if service == RT.PRINT:
+            length = mmu.read_word(ctx, args[0], charge=False)
+            return cpu.syscall_handler(
+                cpu, SYS_WRITE, (1, args[0] + STR_HEADER, length))
+        if service == RT.SLICE_NEW:
+            return self._slice_new(ctx, *args)
+        if service == RT.SLICE_APPEND:
+            return self._slice_append(ctx, *args)
+        if service == RT.SLICE_AT:
+            desc, elem_size, index = args
+            addr = self._slice_index(ctx, desc, elem_size, index)
+            return (mmu.read_byte(ctx, addr) if elem_size == 1
+                    else mmu.read_word(ctx, addr))
+        if service == RT.SLICE_PUT:
+            desc, elem_size, index, value = args
+            addr = self._slice_index(ctx, desc, elem_size, index)
+            if elem_size == 1:
+                mmu.write_byte(ctx, addr, value)
+            else:
+                mmu.write_word(ctx, addr, value)
+            return 0
+        if service == RT.STR_FROM_SLICE:
+            pkg_id, desc = args
+            data, length, _ = self._read_desc(ctx, desc)
+            blob = mmu.read(ctx, data, length, charge=False)
+            self.clock.charge(COSTS.MEM_BYTE * length)
+            return self.new_string(ctx, self.pkg_name(pkg_id), blob)
+        if service == RT.SLICE_FROM_STR:
+            pkg_id, s = args
+            blob = read_string(mmu, ctx, s)
+            desc = self._slice_new(ctx, pkg_id, 1, len(blob),
+                                   max(1, len(blob)))
+            data, _, _ = self._read_desc(ctx, desc)
+            if blob:
+                mmu.write(ctx, data, blob, charge=False)
+            self.clock.charge(COSTS.MEM_BYTE * len(blob))
+            return desc
+        if service == RT.SLICE_COPY:
+            dst_desc, src_desc, elem_size = args
+            dst, dst_len, _ = self._read_desc(ctx, dst_desc)
+            src, src_len, _ = self._read_desc(ctx, src_desc)
+            count = min(dst_len, src_len)
+            if count > 0:
+                mmu.memcpy(ctx, dst, src, count * elem_size)
+            return count
+        if service == RT.PANIC:
+            raise Fault("exec", f"panic({args[0]})")
+        raise Fault("exec", f"unknown runtime service {service}")
+
+    # -- slices -------------------------------------------------------------
+
+    def _slice_new(self, ctx, pkg_id: int, elem_size: int, length: int,
+                   cap: int) -> int:
+        if elem_size not in (1, 8):
+            raise Fault("exec", f"unsupported element size {elem_size}")
+        if length < 0 or cap < length:
+            raise Fault("arith", f"make([]T, {length}, {cap})")
+        pkg = self.pkg_name(pkg_id)
+        cap = max(cap, 1)
+        desc = self.allocator.alloc(pkg, SLICE_DESC)
+        data = self.allocator.alloc(pkg, cap * elem_size)
+        mmu = self.mmu
+        mmu.write(ctx, data, bytes(cap * elem_size), charge=False)
+        self.clock.charge(COSTS.MEM_BYTE * cap * elem_size)
+        mmu.write(ctx, desc, struct.pack("<qqq", data, length, cap),
+                  charge=False)
+        return desc
+
+    def _read_desc(self, ctx, desc: int) -> tuple[int, int, int]:
+        raw = self.mmu.read(ctx, desc, SLICE_DESC, charge=False)
+        return struct.unpack("<qqq", raw)
+
+    def _slice_index(self, ctx, desc: int, elem_size: int,
+                     index: int) -> int:
+        data, length, _ = self._read_desc(ctx, desc)
+        if not 0 <= index < length:
+            raise Fault("arith",
+                        f"slice index {index} out of range [0,{length})")
+        return data + index * elem_size
+
+    def _slice_append(self, ctx, pkg_id: int, desc: int, elem_size: int,
+                      value: int) -> int:
+        mmu = self.mmu
+        data, length, cap = self._read_desc(ctx, desc)
+        if length == cap:
+            new_cap = max(4, cap * 2)
+            new_data = self.allocator.alloc(
+                self.pkg_name(pkg_id), new_cap * elem_size)
+            old = mmu.read(ctx, data, length * elem_size, charge=False)
+            mmu.write(ctx, new_data, old, charge=False)
+            mmu.write(ctx, new_data + len(old),
+                      bytes((new_cap - length) * elem_size), charge=False)
+            self.clock.charge(COSTS.MEM_BYTE * new_cap * elem_size)
+            data, cap = new_data, new_cap
+        addr = data + length * elem_size
+        if elem_size == 1:
+            mmu.write_byte(ctx, addr, value)
+        else:
+            mmu.write_word(ctx, addr, value)
+        mmu.write(ctx, desc, struct.pack("<qqq", data, length + 1, cap),
+                  charge=False)
+        return desc

@@ -1,0 +1,169 @@
+"""User-level goroutine scheduler (paper §5.1 Runtime).
+
+"The scheduler uses the Execute hook to switch between goroutines
+associated with different environments" and "execution environments are
+transitively inherited by goroutine creation so that user-level threads
+created inside an enclosure's environment continue to execute in the
+same environment" (preventing escalation through `go`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.enclosure import Environment
+from repro.errors import Fault, MachineHalt, WouldBlock
+from repro.hw.clock import COSTS
+from repro.hw.cpu import CPU, StackSegment
+from repro.isa.interp import GoroutineExit, Interpreter
+
+
+@dataclass
+class Goroutine:
+    """One user-level thread."""
+
+    id: int
+    env: Environment
+    entry: int
+    args: tuple[int, ...] = ()
+    activation: dict | None = None
+    #: Stack of (env, fp, sp, stack) saved by Prolog for nested switches.
+    env_stack: list = field(default_factory=list)
+    #: Per-environment split stacks: env id -> StackSegment.
+    stacks: dict[int, StackSegment] = field(default_factory=dict)
+    state: str = "new"  # new | runnable | blocked | done
+    wait_key: tuple | None = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of a scheduler drive."""
+
+    status: str              # exited | halted | faulted | idle
+    exit_code: int = 0
+    fault: Fault | None = None
+
+
+class Scheduler:
+    """Cooperative round-robin scheduler over one simulated CPU."""
+
+    TIME_SLICE = 200_000  # instructions before a voluntary rotate
+
+    def __init__(self, cpu: CPU, interp: Interpreter, litterbox) -> None:
+        self.cpu = cpu
+        self.interp = interp
+        self.litterbox = litterbox
+        self.goroutines: list[Goroutine] = []
+        self.runnable: deque[Goroutine] = deque()
+        self.blocked: dict[tuple, list[Goroutine]] = {}
+        self.current: Goroutine | None = None
+        self.main: Goroutine | None = None
+        self._next_id = 1
+
+    # -- creation ------------------------------------------------------------
+
+    def spawn(self, entry: int, args: tuple[int, ...] = (),
+              env: Environment | None = None) -> Goroutine:
+        """Create a goroutine; it inherits the spawner's environment
+        unless one is given explicitly (only the machine does that,
+        for the main goroutine)."""
+        if env is None:
+            if self.current is None:
+                raise Fault("exec", "spawn with no current environment")
+            env = self.current.env
+        goroutine = Goroutine(id=self._next_id, env=env, entry=entry,
+                              args=args)
+        self._next_id += 1
+        self.goroutines.append(goroutine)
+        if self.main is None:
+            self.main = goroutine
+        goroutine.state = "runnable"
+        self.runnable.append(goroutine)
+        return goroutine
+
+    def _first_activation(self, goroutine: Goroutine) -> dict:
+        stack = self.litterbox.allocate_initial_stack(goroutine)
+        return {
+            "pc": goroutine.entry,
+            "fp": stack.base,
+            "sp": stack.base + 16,
+            "stack": stack,
+            "operands": list(goroutine.args),
+            "ctx": self.cpu.ctx,
+        }
+
+    # -- wake/park -------------------------------------------------------------
+
+    def wake(self, key: tuple) -> None:
+        """Move every goroutine blocked on ``key`` back to runnable."""
+        waiters = self.blocked.pop(key, None)
+        if not waiters:
+            return
+        for goroutine in waiters:
+            goroutine.state = "runnable"
+            goroutine.wait_key = None
+            self.runnable.append(goroutine)
+
+    def _park(self, goroutine: Goroutine, key: tuple) -> None:
+        goroutine.state = "blocked"
+        goroutine.wait_key = key
+        goroutine.activation = self.cpu.save_activation()
+        self.blocked.setdefault(key, []).append(goroutine)
+
+    # -- the drive loop ----------------------------------------------------------
+
+    def run(self, max_total_steps: int = 200_000_000,
+            stop_when_main_exits: bool = True) -> RunResult:
+        """Drive goroutines until HALT, main exit, a fault, or idleness."""
+        total = 0
+        while self.runnable:
+            goroutine = self.runnable.popleft()
+            if goroutine.state != "runnable":
+                continue
+            self.current = goroutine
+            if goroutine.activation is None:
+                goroutine.activation = self._first_activation(goroutine)
+            self.cpu.restore_activation(goroutine.activation)
+            self.cpu.clock.charge(COSTS.SCHED_SWITCH)
+            # Execute hook: resume in the goroutine's own environment.
+            self.litterbox.execute(self.cpu, goroutine)
+            goroutine.state = "running"
+
+            slice_steps = 0
+            try:
+                while slice_steps < self.TIME_SLICE:
+                    self.interp.step(self.cpu)
+                    slice_steps += 1
+                    total += 1
+                # Preemption point: rotate.
+                goroutine.state = "runnable"
+                goroutine.activation = self.cpu.save_activation()
+                self.runnable.append(goroutine)
+            except WouldBlock as block:
+                self._park(goroutine, block.wait_key)
+            except GoroutineExit:
+                goroutine.state = "done"
+                goroutine.activation = None
+                self.litterbox.release_stacks(goroutine)
+                if stop_when_main_exits and goroutine is self.main:
+                    return RunResult("exited", 0)
+            except MachineHalt as halt:
+                goroutine.state = "done"
+                return RunResult("halted", halt.exit_code)
+            except Fault as fault:
+                # "A fault stops the execution of the closure and aborts
+                # the program" (§2.2).
+                goroutine.state = "done"
+                return RunResult("faulted", fault=fault)
+            if total > max_total_steps:
+                raise Fault("exec", "scheduler exceeded step budget")
+        return RunResult("idle")
+
+    # -- inspection -----------------------------------------------------------
+
+    def blocked_count(self) -> int:
+        return sum(len(v) for v in self.blocked.values())
+
+    def live_goroutines(self) -> list[Goroutine]:
+        return [g for g in self.goroutines if g.state != "done"]

@@ -1,0 +1,1 @@
+"""The paper's §6.2/§6.3 workloads: bild, HTTP, FastHTTP, the wiki."""

@@ -1,0 +1,69 @@
+"""Simulated Postgres, reachable only through the simulated network.
+
+Stands in for the paper's Postgres instance in the §6.3 wiki study.
+Speaks a tiny line protocol (a stand-in for the Postgres wire format):
+
+* ``GET <key>\\n``            -> ``VAL <data>\\n`` or ``NIL\\n``
+* ``SET <key> <data>\\n``     -> ``OK\\n``
+
+The database process is *outside* the application's address space —
+only the enclosed pq proxy may talk to it, over its pre-established
+socket, which is exactly the Figure 5 trust boundary.
+"""
+
+from __future__ import annotations
+
+from repro.os.net import Endpoint, Network, ip_of
+
+POSTGRES_IP = ip_of("10.0.0.2")
+POSTGRES_PORT = 5432
+
+
+class PostgresService:
+    """Host-level key/value "database" attached to the network."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, str] = {}
+        self.queries: list[str] = []
+        self._buffers: dict[int, bytearray] = {}
+
+    def seed(self, pages: dict[str, str]) -> None:
+        self.tables.update(pages)
+
+    def on_connect(self, endpoint: Endpoint) -> None:
+        self._buffers[id(endpoint)] = bytearray()
+
+    def on_data(self, endpoint: Endpoint) -> None:
+        buffer = self._buffers.setdefault(id(endpoint), bytearray())
+        data = endpoint.recv(1 << 20)
+        if not data:
+            return
+        buffer.extend(data)
+        while b"\n" in buffer:
+            line, _, rest = bytes(buffer).partition(b"\n")
+            buffer[:] = rest
+            self._handle(endpoint, line.decode("utf-8", "replace"))
+
+    def _handle(self, endpoint: Endpoint, line: str) -> None:
+        self.queries.append(line)
+        parts = line.split(" ", 2)
+        if parts[0] == "GET" and len(parts) >= 2:
+            value = self.tables.get(parts[1])
+            if value is None:
+                endpoint.send(b"NIL\n")
+            else:
+                endpoint.send(f"VAL {value}\n".encode())
+        elif parts[0] == "SET" and len(parts) == 3:
+            self.tables[parts[1]] = parts[2]
+            endpoint.send(b"OK\n")
+        else:
+            endpoint.send(b"ERR\n")
+
+
+def attach_postgres(network: Network,
+                    pages: dict[str, str] | None = None) -> PostgresService:
+    service = PostgresService()
+    if pages:
+        service.seed(pages)
+    network.register_service(POSTGRES_IP, POSTGRES_PORT, service)
+    return service

@@ -1,0 +1,332 @@
+"""The wiki-like web application of Figure 5 (paper §6.3, "Usability").
+
+Two enclosures communicate with trusted glue code over Go channels:
+
+* **Enclosure B** runs the ``mux`` HTTP server and its transitive
+  dependencies.  It may only create/read/write its own network sockets
+  (plus read the ``shared`` package for outgoing responses); it cannot
+  see the database password, the page templates, or the filesystem.
+* **Enclosure C** wraps the deprecated ``pq`` Postgres driver as a
+  proxy: it receives SQL-ish requests on a channel, forwards them to
+  Postgres over its pre-established socket, and returns results.
+
+The trusted glue reads parsed requests from B, consults C, renders the
+page with the (sensitive) template, and hands the response back to B
+through ``shared``'s arena.
+"""
+
+from __future__ import annotations
+
+from repro.golite import compile_program
+from repro.image.linker import link
+from repro.machine import Machine, MachineConfig
+from repro.workloads import corpus
+from repro.os.net import LOCALHOST
+from repro.workloads.httpserver import HttpDriver
+from repro.workloads.postgres import (
+    POSTGRES_IP,
+    POSTGRES_PORT,
+    PostgresService,
+    attach_postgres,
+)
+
+PORT = 8082
+
+#: pq and mux together "incorporate 44 public Github packages".
+WIKI_PUBLIC_DEPS = 42  # + pq + mux themselves = 44
+
+MUX_SOURCE = """
+package mux
+
+import (
+    "mdep0"
+)
+
+type Request struct {
+    verb int
+    page string
+    body string
+    conn int
+}
+
+const VerbView = 1
+const VerbSave = 2
+
+const sysClose = 3
+const sysSocket = 41
+const sysSendto = 44
+const sysRecvfrom = 45
+const sysBind = 49
+const sysListen = 50
+
+// Serve accepts connections, routes requests, and forwards them to
+// the trusted glue over the out channel; responses come back on in.
+func Serve(port int, out chan *Request, in chan string) {
+    fd := syscall(sysSocket, 2, 1, 0)
+    syscall(sysBind, fd, port)
+    syscall(sysListen, fd, 128)
+    buf := make([]byte, 4096)
+    scratch := make([]byte, 4096)
+    seed := mdep0.Work(port)
+    touched := seed - seed
+    for {
+        conn := syscall(43, fd)
+        if conn < 0 {
+            continue
+        }
+        n := syscall(sysRecvfrom, conn, dataptr(buf), 4096)
+        if n > 0 {
+            req := Route(buf, n)
+            req.conn = conn
+            for r := 0; r < 24; r++ {
+                copy(scratch, buf)
+            }
+            out <- req
+            resp := <-in
+            syscall(sysSendto, conn, strptr(resp), len(resp))
+            touched++
+        }
+        syscall(sysClose, conn)
+    }
+}
+
+// Route parses "<METHOD> /<action>/<page>" plus an optional body.
+func Route(buf []byte, n int) *Request {
+    req := new(Request)
+    line := firstLine(buf, n)
+    method := field(line, 0)
+    path := field(line, 1)
+    if method == "GET" && prefix(path, "/view/") {
+        req.verb = VerbView
+        req.page = path[6:]
+    }
+    if method == "POST" && prefix(path, "/save/") {
+        req.verb = VerbSave
+        req.page = path[6:]
+        req.body = messageBody(buf, n)
+    }
+    return req
+}
+
+func firstLine(buf []byte, n int) string {
+    end := 0
+    for end < n && buf[end] != 13 && buf[end] != 10 {
+        end++
+    }
+    out := make([]byte, end)
+    for i := 0; i < end; i++ {
+        out[i] = buf[i]
+    }
+    return string(out)
+}
+
+func field(line string, idx int) string {
+    start := 0
+    count := 0
+    for count < idx {
+        for start < len(line) && line[start] != ' ' {
+            start++
+        }
+        start++
+        count++
+    }
+    end := start
+    for end < len(line) && line[end] != ' ' {
+        end++
+    }
+    return line[start:end]
+}
+
+func prefix(s string, p string) bool {
+    if len(s) < len(p) {
+        return false
+    }
+    return s[:len(p)] == p
+}
+
+func messageBody(buf []byte, n int) string {
+    // Body begins after the blank line.
+    i := 0
+    for i+3 < n {
+        if buf[i] == 13 && buf[i+1] == 10 && buf[i+2] == 13 && buf[i+3] == 10 {
+            i = i + 4
+            out := make([]byte, n-i)
+            for k := i; k < n; k++ {
+                out[k-i] = buf[k]
+            }
+            return string(out)
+        }
+        i++
+    }
+    return ""
+}
+"""
+
+PQ_SOURCE = f"""
+package pq
+
+import (
+    "qdep0"
+)
+
+const sysSocket = 41
+const sysConnect = 42
+const sysSendto = 44
+const sysRecvfrom = 45
+
+const PostgresIP = {POSTGRES_IP}
+const PostgresPort = {POSTGRES_PORT}
+
+// Dial opens the driver's pre-defined socket to Postgres.
+func Dial() int {{
+    fd := syscall(sysSocket, 2, 1, 0)
+    r := syscall(sysConnect, fd, PostgresIP, PostgresPort)
+    if r < 0 {{
+        return r
+    }}
+    warm := qdep0.Work(fd)
+    return fd + warm - warm
+}}
+
+// Query sends one protocol line and reads one response line.
+func Query(fd int, q string) string {{
+    syscall(sysSendto, fd, strptr(q), len(q))
+    buf := make([]byte, 2048)
+    n := syscall(sysRecvfrom, fd, dataptr(buf), 2048)
+    if n <= 0 {{
+        return "ERR"
+    }}
+    out := make([]byte, n)
+    copy(out, buf)
+    return string(out)
+}}
+"""
+
+SHARED_SOURCE = """
+package shared
+
+// Copy re-homes a string into shared's arena so both enclosures can
+// read it (their views extend "shared:R").
+func Copy(s string) string {
+    return s[0:]
+}
+
+// Render wraps body in the response envelope, in shared's arena.
+func Render(body string) string {
+    return "HTTP/1.1 200 OK\\r\\nContent-Length: " + itoa(len(body)) +
+        "\\r\\nConnection: close\\r\\n\\r\\n" + body
+}
+"""
+
+
+def app_source() -> str:
+    return f"""
+package main
+
+import (
+    "mux"
+    "pq"
+    "shared"
+)
+
+var dbPassword string = "pg-password-hunter2"
+var template string = "<html><h1>WIKI</h1><div>"
+
+func main() {{
+    reqs := make(chan *Request, 16)
+    resps := make(chan string, 16)
+    sqlIn := make(chan string, 16)
+    sqlOut := make(chan string, 16)
+
+    // Enclosure C: the pq proxy ("only allowed to communicate with
+    // Postgres via a pre-defined network socket").
+    proxy := with "shared:R, net" func(in chan string, out chan string) int {{
+        fd := pq.Dial()
+        for {{
+            q := <-in
+            out <- pq.Query(fd, q)
+        }}
+        return 0
+    }}
+    go runProxy(proxy, sqlIn, sqlOut)
+
+    // Trusted glue: routes requests to the proxy and renders pages
+    // with the sensitive template.
+    go glue(reqs, resps, sqlIn, sqlOut)
+
+    // Enclosure B: the mux HTTP server and its dependencies.
+    server := with "shared:R, net io" func(port int, out chan *Request,
+            in chan string) int {{
+        mux.Serve(port, out, in)
+        return 0
+    }}
+    server({PORT}, reqs, resps)
+}}
+
+func runProxy(p func(chan string, chan string) int, in chan string,
+        out chan string) {{
+    p(in, out)
+}}
+
+func glue(reqs chan *Request, resps chan string, sqlIn chan string,
+        sqlOut chan string) {{
+    for {{
+        req := <-reqs
+        page := req.page
+        answer := "bad request"
+        if req.verb == 1 {{
+            sqlIn <- shared.Copy("GET " + page + "\\n")
+            answer = <-sqlOut
+        }}
+        if req.verb == 2 {{
+            sqlIn <- shared.Copy("SET " + page + " " + req.body + "\\n")
+            answer = <-sqlOut
+        }}
+        html := template + answer + "</div></html>"
+        resps <- shared.Render(html)
+    }}
+}}
+"""
+
+
+def build_wiki_image():
+    mdeps = corpus.dependency_sources("mdep", WIKI_PUBLIC_DEPS // 2)
+    qdeps = corpus.dependency_sources("qdep", WIKI_PUBLIC_DEPS // 2)
+    sources = [MUX_SOURCE, PQ_SOURCE, SHARED_SOURCE, app_source()]
+    sources += mdeps + qdeps
+    objects = compile_program(sources)
+    corpus.stamp_loc(objects, {"mux": 3_000, "pq": 5_000, "main": 90})
+    return link(objects, entry="main.$start")
+
+
+class WikiDriver(HttpDriver):
+    """Load generator speaking the wiki's GET/POST interface."""
+
+    def view(self, page: str) -> bytes:
+        return self.request(f"/view/{page}")
+
+    def save(self, page: str, content: str) -> bytes:
+        conn = self.machine.kernel.net.connect(LOCALHOST, self.port)
+        if isinstance(conn, int):
+            raise AssertionError(f"connect failed ({conn})")
+        body = content
+        conn.client.send(
+            (f"POST /save/{page} HTTP/1.1\r\nHost: wiki\r\n"
+             f"Content-Length: {len(body)}\r\n\r\n{body}").encode())
+        result = self.machine.resume()
+        if result.status == "faulted":
+            raise AssertionError(f"wiki faulted: {self.machine.fault}")
+        response = bytes(conn.client.rx)
+        conn.client.close()
+        return response
+
+
+def run_wiki(backend: str,
+             pages: dict[str, str] | None = None
+             ) -> tuple[WikiDriver, PostgresService]:
+    machine = Machine(build_wiki_image(), MachineConfig(backend=backend))
+    postgres = attach_postgres(machine.kernel.net,
+                               pages or {"home": "welcome to the wiki"})
+    driver = WikiDriver(machine, port=PORT)
+    driver.start()
+    return driver, postgres

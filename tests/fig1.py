@@ -1,0 +1,176 @@
+"""Hand-assembled version of the paper's Figure 1 program.
+
+Used by integration tests to validate the machine + LitterBox +
+backends stack independently of the Golite compiler.  The program:
+
+* ``secrets`` holds ``original`` (the sensitive image, here one word);
+* ``main`` holds ``key`` (the private key) and declares the ``rcl``
+  enclosure (``"secrets:R, none"``) around a call into ``libfx``;
+* ``libfx`` provides the benign ``Invert`` plus malicious variants that
+  try to modify the secret, read main's key, or perform a system call.
+"""
+
+from __future__ import annotations
+
+from repro.core.enclosure import EnclosureSpec
+from repro.core.policy import parse_policy
+from repro.image.elf import CodeObject, FuncDef, GlobalDef
+from repro.image.linker import link
+from repro.isa.instr import Instr, SymRef
+from repro.isa.opcodes import Hook, Op
+from repro.machine import Machine, MachineConfig
+from repro.os import syscalls as sc
+from repro.runtime.runtime import RT
+
+I = Instr
+
+
+def _thunk(encl_name: str, body_symbol: str) -> list[Instr]:
+    """The compiler-inserted Prolog/body/Epilog sequence."""
+    return [
+        I(Op.PUSH, SymRef(f"encl:{encl_name}")),
+        I(Op.LBCALL, Hook.PROLOG, 1),
+        I(Op.DROP),
+        I(Op.CALL, SymRef(body_symbol)),
+        I(Op.LBCALL, Hook.EPILOG, 0),
+        I(Op.DROP),
+        I(Op.RET),
+    ]
+
+
+def _make_closure(encl_name: str, record_global: str) -> list[Instr]:
+    """Allocate a closure record in the enclosure's arena and stash it."""
+    return [
+        I(Op.PUSH, SymRef(f"pkgid:encl.{encl_name}")),
+        I(Op.PUSH, 24),
+        I(Op.RTCALL, RT.ALLOC, 2),          # record addr
+        I(Op.DUP),
+        I(Op.PUSH, SymRef(f"encl.{encl_name}.thunk")),
+        I(Op.STORE),                        # record[0] = thunk
+        I(Op.PUSH, SymRef(record_global)),
+        I(Op.SWAP),
+        I(Op.STORE),                        # global = record
+    ]
+
+
+def _call_closure(record_global: str, arg_sym: str,
+                  result_global: str) -> list[Instr]:
+    return [
+        I(Op.PUSH, SymRef(arg_sym)),        # arg0: address of the secret
+        I(Op.PUSH, SymRef(record_global)),
+        I(Op.LOAD),
+        I(Op.CALLCLO, 0, 1),
+        I(Op.PUSH, SymRef(result_global)),
+        I(Op.SWAP),
+        I(Op.STORE),
+    ]
+
+
+BODIES = {
+    # return libfx.Invert(addr)
+    "invert": [
+        I(Op.ENTER, 2, 2),
+        I(Op.LOADL, 0),
+        I(Op.CALL, SymRef("libfx.Invert")),
+        I(Op.RET),
+    ],
+    # libfx.Smash(addr): integrity attack on the read-only secret
+    "smash": [
+        I(Op.ENTER, 2, 2),
+        I(Op.LOADL, 0),
+        I(Op.CALL, SymRef("libfx.Smash")),
+        I(Op.RET),
+    ],
+    # libfx.Peek(): confidentiality attack on main's key
+    "peek": [
+        I(Op.ENTER, 2, 2),
+        I(Op.CALL, SymRef("libfx.Peek")),
+        I(Op.RET),
+    ],
+    # libfx.DoSyscall(): denied system call
+    "syscall": [
+        I(Op.ENTER, 2, 2),
+        I(Op.CALL, SymRef("libfx.DoSyscall")),
+        I(Op.RET),
+    ],
+}
+
+
+def build_image(body: str = "invert", policy: str = "secrets:R, none",
+                extra_main: list[Instr] | None = None):
+    """Link the Figure 1 program with the selected libfx behaviour."""
+    secrets = CodeObject(
+        name="secrets",
+        globals=[GlobalDef("secrets.original", 8, (1234).to_bytes(8, "little"))],
+        loc=40,
+    )
+    libfx = CodeObject(
+        name="libfx",
+        loc=160_000,  # "silently drags-in over 160K lines" (bild, §6.2)
+        functions=[
+            FuncDef("libfx.Invert", [
+                I(Op.ENTER, 1, 1),
+                I(Op.LOADL, 0),
+                I(Op.LOAD),
+                I(Op.NEG),
+                I(Op.RET),
+            ]),
+            FuncDef("libfx.Smash", [
+                I(Op.ENTER, 1, 1),
+                I(Op.LOADL, 0),
+                I(Op.PUSH, 666),
+                I(Op.STORE),
+                I(Op.PUSH, 0),
+                I(Op.RET),
+            ]),
+            FuncDef("libfx.Peek", [
+                I(Op.ENTER, 0, 0),
+                I(Op.PUSH, SymRef("main.key")),
+                I(Op.LOAD),
+                I(Op.RET),
+            ]),
+            FuncDef("libfx.DoSyscall", [
+                I(Op.ENTER, 0, 0),
+                I(Op.PUSH, sc.SYS_GETUID),
+                I(Op.SYSCALL, 0),
+                I(Op.RET),
+            ]),
+        ],
+    )
+    rcl = EnclosureSpec(id=0, name="rcl", owner="main", refs=("libfx",),
+                        policy=parse_policy(policy),
+                        thunk_symbol="encl.rcl.thunk",
+                        body_symbol="encl.rcl.body")
+    main_instrs = (
+        [I(Op.ENTER, 0, 0)]
+        + _make_closure("rcl", "main.rcl")
+        + _call_closure("main.rcl", "secrets.original", "main.result")
+        + (extra_main or [])
+        + [I(Op.RET)]
+    )
+    main = CodeObject(
+        name="main",
+        imports=("libfx", "secrets"),
+        loc=32,
+        globals=[
+            GlobalDef("main.key", 8, (999).to_bytes(8, "little")),
+            GlobalDef("main.rcl", 8),
+            GlobalDef("main.result", 8),
+        ],
+        functions=[
+            FuncDef("main.main", main_instrs),
+            FuncDef("encl.rcl.thunk", _thunk("rcl", "encl.rcl.body"),
+                    enclosure="rcl"),
+            FuncDef("encl.rcl.body", BODIES[body], enclosure="rcl"),
+        ],
+        enclosures=[rcl],
+    )
+    return link([secrets, libfx, main])
+
+
+def run_fig1(backend: str, body: str = "invert",
+             policy: str = "secrets:R, none"):
+    machine = Machine(build_image(body=body, policy=policy),
+                      MachineConfig(backend=backend))
+    result = machine.run()
+    return machine, result

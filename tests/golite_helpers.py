@@ -1,0 +1,24 @@
+"""Helpers for Golite tests: compile, run, and capture output."""
+
+from __future__ import annotations
+
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+
+
+def run_golite(*sources: str, backend: str = "baseline",
+               config: MachineConfig | None = None):
+    """Compile and run a Golite program; returns (machine, result)."""
+    image = build_program(list(sources))
+    machine = Machine(image, config or MachineConfig(backend=backend))
+    result = machine.run()
+    return machine, result
+
+
+def run_main(body: str, *extra_sources: str, backend: str = "baseline",
+             prelude: str = "") -> str:
+    """Run a main() body and return stdout as text."""
+    src = f"package main\n{prelude}\nfunc main() {{\n{body}\n}}\n"
+    machine, result = run_golite(src, *extra_sources, backend=backend)
+    assert result.status == "exited", (result.status, machine.fault)
+    return machine.stdout.decode()

@@ -1,0 +1,93 @@
+"""Minimal ISA-level test harness.
+
+Builds a bare machine — one page table, one stack, a kernel — without
+the full LitterBox/linker stack, so ISA and kernel behaviour can be
+tested in isolation.  Full-system tests use :mod:`repro.machine`.
+"""
+
+from __future__ import annotations
+
+from repro.hw import (
+    CPU,
+    MMU,
+    PAGE_SIZE,
+    PageTable,
+    Perm,
+    PhysicalMemory,
+    SimClock,
+    StackSegment,
+    TranslationContext,
+)
+from repro.isa import INSTR_SIZE, Instr, Interpreter, encode_all
+from repro.os.kernel import Kernel
+
+TEXT_BASE = 0x0010_0000
+DATA_BASE = 0x0020_0000
+STACK_BASE = 0x0030_0000
+STACK_SIZE = 16 * PAGE_SIZE
+DATA_SIZE = 16 * PAGE_SIZE
+
+
+class MiniMachine:
+    """One CPU, one page table, a kernel; loads raw instruction lists."""
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        self.physmem = PhysicalMemory()
+        self.mmu = MMU(self.physmem, self.clock)
+        self.kernel = Kernel(self.physmem, self.mmu, self.clock)
+        self.table = PageTable("mini")
+        self.kernel.host_table = self.table
+        self.interp = Interpreter(self.mmu, self.clock)
+        self.cpu = CPU(mmu=self.mmu, clock=self.clock)
+        self.cpu.ctx = TranslationContext(page_table=self.table)
+        self.cpu.syscall_handler = self._syscall
+        self._map(DATA_BASE, DATA_SIZE, Perm.RW)
+        self._map(STACK_BASE, STACK_SIZE, Perm.RW)
+        self._init_stack()
+
+    def _map(self, base: int, size: int, perms: Perm) -> None:
+        pfns = [self.physmem.alloc_frame() for _ in range(size // PAGE_SIZE)]
+        self.table.map_range(base, size, pfns, perms)
+
+    def _init_stack(self) -> None:
+        self.cpu.stack = StackSegment(STACK_BASE, STACK_SIZE)
+        self.cpu.fp = STACK_BASE
+        self.cpu.sp = STACK_BASE + 16
+        ctx = self.cpu.ctx
+        self.mmu.write_word(ctx, STACK_BASE, 0, charge=False)
+        self.mmu.write_word(ctx, STACK_BASE + 8, 0, charge=False)
+
+    def _syscall(self, cpu: CPU, nr: int, args: tuple[int, ...]) -> int:
+        return self.kernel.syscall(nr, args, cpu.ctx, cpu.pkru)
+
+    def load(self, instrs: list[Instr], base: int = TEXT_BASE) -> int:
+        """Map code at ``base`` (RX) and register it; returns ``base``."""
+        blob = encode_all(instrs)
+        size = max(PAGE_SIZE, (len(blob) + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1))
+        self._map(base, size, Perm.RX)
+        # Write through a supervisor view (text is not writable by code).
+        for vpn_index in range(size // PAGE_SIZE):
+            page_vaddr = base + vpn_index * PAGE_SIZE
+            pte = self.table.lookup(page_vaddr >> 12)
+            chunk = blob[vpn_index * PAGE_SIZE:(vpn_index + 1) * PAGE_SIZE]
+            if chunk:
+                self.physmem.write(pte.pfn * PAGE_SIZE, chunk)
+        self.interp.register_code(base, instrs)
+        return base
+
+    def run(self, entry: int | None = None, max_steps: int = 1_000_000) -> int:
+        self.cpu.pc = entry if entry is not None else TEXT_BASE
+        return self.interp.run(self.cpu, max_steps)
+
+    def poke_word(self, addr: int, value: int) -> None:
+        self.mmu.write_word(self.cpu.ctx, addr, value, charge=False)
+
+    def peek_word(self, addr: int) -> int:
+        return self.mmu.read_word(self.cpu.ctx, addr, charge=False)
+
+    def poke_bytes(self, addr: int, data: bytes) -> None:
+        self.mmu.write(self.cpu.ctx, addr, data, charge=False)
+
+    def peek_bytes(self, addr: int, size: int) -> bytes:
+        return self.mmu.read(self.cpu.ctx, addr, size, charge=False)

@@ -1,0 +1,114 @@
+"""Tests for the extended bild image-processing library surface."""
+
+import pytest
+
+from repro.golite import build_program
+from repro.machine import Machine, MachineConfig
+from repro.workloads import corpus
+from repro.workloads.bild import BILD_PUBLIC_DEPS, BILD_SOURCE
+
+
+def run_app(body, backend="mpk", policy="main:R, none"):
+    deps = corpus.dependency_sources("bdep", BILD_PUBLIC_DEPS)
+    app = f"""
+package main
+
+import "bild"
+
+var result int
+
+func mk(n int) *Image {{
+    img := new(Image)
+    img.w = n
+    img.h = 1
+    img.pix = make([]int, n)
+    for i := 0; i < n; i++ {{
+        img.pix[i] = i * 20
+    }}
+    return img
+}}
+
+func main() {{
+    img := mk(8)
+    op := with "{policy}" func(im *Image) int {{
+        {body}
+    }}
+    result = op(img)
+}}
+"""
+    image = build_program([BILD_SOURCE, app] + deps)
+    from repro.image.linker import link  # noqa: F401  (image already linked)
+    machine = Machine(image, MachineConfig(backend=backend))
+    result = machine.run()
+    return machine, result
+
+
+class TestOperations:
+    def test_grayscale_smooths(self):
+        machine, result = run_app(
+            "return bild.Checksum(bild.Grayscale(im))")
+        assert result.status == "exited", machine.fault
+        pix = [i * 20 for i in range(8)]
+        expected = sum(
+            (pix[max(0, i - 1)] + pix[i] + pix[min(7, i + 1)]) // 3
+            for i in range(8))
+        assert machine.read_global("main.result") == expected
+
+    def test_brightness_clamps(self):
+        machine, result = run_app(
+            "return bild.Checksum(bild.Brightness(im, 200))")
+        assert result.status == "exited", machine.fault
+        expected = sum(min(255, i * 20 + 200) for i in range(8))
+        assert machine.read_global("main.result") == expected
+
+    def test_brightness_clamps_low(self):
+        machine, result = run_app(
+            "return bild.Checksum(bild.Brightness(im, 0-50))")
+        expected = sum(max(0, i * 20 - 50) for i in range(8))
+        assert machine.read_global("main.result") == expected
+
+    def test_histogram_buckets(self):
+        machine, result = run_app(
+            "h := bild.Histogram(im)\n        "
+            "return h[0]*1000 + h[7]")
+        assert result.status == "exited", machine.fault
+        pix = [i * 20 for i in range(8)]
+        bucket0 = sum(1 for v in pix if v // 32 == 0)
+        bucket7 = sum(1 for v in pix if v // 32 >= 7)
+        assert machine.read_global("main.result") == bucket0 * 1000 + bucket7
+
+    def test_boxblur_preserves_mean_ish(self):
+        machine, result = run_app(
+            "return bild.Checksum(bild.BoxBlur(im))")
+        assert result.status == "exited", machine.fault
+        pix = [i * 20 for i in range(8)]
+        expected = 0
+        for x in range(8):
+            acc, cnt = pix[x], 1
+            if x > 0:
+                acc, cnt = acc + pix[x - 1], cnt + 1
+            if x < 7:
+                acc, cnt = acc + pix[x + 1], cnt + 1
+            expected += acc // cnt
+        assert machine.read_global("main.result") == expected
+
+    @pytest.mark.parametrize("backend", ["baseline", "mpk", "vtx"])
+    def test_pipeline_of_operations(self, backend):
+        machine, result = run_app(
+            "g := bild.Grayscale(im)\n        "
+            "b := bild.Brightness(g, 10)\n        "
+            "return bild.Checksum(bild.BoxBlur(b))", backend=backend)
+        assert result.status == "exited", machine.fault
+        assert machine.read_global("main.result") > 0
+
+    def test_every_op_respects_readonly_input(self):
+        """None of the library ops may write the shared image."""
+        for op in ("Invert", "Grayscale", "BoxBlur"):
+            machine, result = run_app(
+                f"return bild.Checksum(bild.{op}(im))")
+            assert result.status == "exited", (op, machine.fault)
+
+    def test_mutating_op_faults(self):
+        machine, result = run_app(
+            "im.pix[0] = 1\n        return 0")
+        assert result.status == "faulted"

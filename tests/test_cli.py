@@ -1,0 +1,83 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def golite_files(tmp_path):
+    lib = tmp_path / "lib.go"
+    lib.write_text("package lib\n\nfunc Triple(x int) int { return 3*x }\n")
+    app = tmp_path / "main.go"
+    app.write_text(
+        'package main\n\nimport "lib"\n\nfunc main() {\n'
+        '    f := with "none" func(x int) int { return lib.Triple(x) }\n'
+        "    println(f(14))\n}\n")
+    return [str(lib), str(app)]
+
+
+class TestRun:
+    def test_run_ok(self, golite_files, capsys):
+        assert main(["run", *golite_files, "--backend", "mpk"]) == 0
+        assert capsys.readouterr().out == "42\n"
+
+    @pytest.mark.parametrize("backend", ["baseline", "vtx", "lwc"])
+    def test_all_backends(self, golite_files, capsys, backend):
+        assert main(["run", *golite_files, "--backend", backend]) == 0
+        assert capsys.readouterr().out == "42\n"
+
+    def test_stats_flag(self, golite_files, capsys):
+        assert main(["run", *golite_files, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "simulated time" in err and "switches" in err
+
+    def test_fault_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "main.go"
+        bad.write_text(
+            "package main\n\nfunc main() {\n"
+            '    f := with "none" func() int { return syscall(102) }\n'
+            "    println(f())\n}\n")
+        assert main(["run", str(bad), "--backend", "mpk"]) == 1
+        assert "aborted" in capsys.readouterr().err
+
+    def test_compile_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "main.go"
+        bad.write_text("package main\nfunc main() { $$$ }\n")
+        assert main(["run", str(bad)]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+
+class TestLayoutAndViews:
+    def test_layout(self, golite_files, capsys):
+        assert main(["layout", *golite_files]) == 0
+        out = capsys.readouterr().out
+        assert "main.text" in out
+        assert "litterbox.super.verif" in out
+
+    def test_views(self, golite_files, capsys):
+        assert main(["views", *golite_files]) == 0
+        out = capsys.readouterr().out
+        assert "trusted" in out
+        assert "meta-packages" in out
+
+
+class TestPylite:
+    def test_py_command(self, tmp_path, capsys):
+        mod = tmp_path / "secret.py"
+        mod.write_text("data = [5, 6, 7]\n")
+        app = tmp_path / "app.py"
+        app.write_text("import secret\nprint(len(secret.data))\n")
+        assert main(["py", str(mod), str(app), "--mode", "python"]) == 0
+        assert capsys.readouterr().out == "3\n"
+
+    def test_py_fault(self, tmp_path, capsys):
+        mod = tmp_path / "worker.py"
+        mod.write_text('def run():\n    write_file("/x", "y")\n'
+                       "    return 0\n")
+        app = tmp_path / "app.py"
+        app.write_text('import worker\n'
+                       'f = enclosure("none", worker.run)\nout = f()\n')
+        assert main(["py", str(mod), str(app),
+                     "--mode", "conservative"]) == 1
+        assert "aborted" in capsys.readouterr().err

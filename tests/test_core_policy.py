@@ -1,0 +1,246 @@
+"""Unit tests for policy parsing, package graphs, views, and clustering."""
+
+import pytest
+
+from repro.core import (
+    Access,
+    DependenceGraph,
+    EnclosureSpec,
+    Environment,
+    PackageInfo,
+    cluster_packages,
+    compute_view,
+    make_trusted_environment,
+    parse_policy,
+)
+from repro.core.enclosure import LITTERBOX_SUPER, LITTERBOX_USER
+from repro.errors import ConfigError, PolicyError
+from repro.os import syscalls as sc
+
+
+class TestPolicyParsing:
+    def test_default_policy(self):
+        policy = parse_policy("")
+        assert policy.modifiers == {}
+        assert policy.syscall_numbers == frozenset()
+
+    def test_figure1_policy(self):
+        """The rcl enclosure from Figure 1: secrets read-only, none."""
+        policy = parse_policy("secrets:R, none")
+        assert policy.modifiers == {"secrets": Access.R}
+        assert policy.syscall_numbers == frozenset()
+
+    def test_categories(self):
+        policy = parse_policy("net io")
+        assert sc.SYS_SOCKET in policy.syscall_numbers
+        assert sc.SYS_READ in policy.syscall_numbers
+        assert sc.SYS_OPEN not in policy.syscall_numbers
+
+    def test_all(self):
+        policy = parse_policy("all")
+        assert policy.syscall_numbers == frozenset(sc.ALL_SYSCALLS)
+
+    def test_every_access_right(self):
+        policy = parse_policy("a:U b:R c:RW d:RWX, none")
+        assert policy.modifiers == {
+            "a": Access.U, "b": Access.R, "c": Access.RW, "d": Access.RWX}
+
+    def test_case_insensitive_rights(self):
+        assert parse_policy("x:rwx").modifiers["x"] is Access.RWX
+
+    @pytest.mark.parametrize("bad", [
+        "secrets:RX", "secrets:", ":R", "frobnicate", "none all",
+        "none net", "all net", "a:R a:RW",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(PolicyError):
+            parse_policy(bad)
+
+    def test_describe_roundtrip(self):
+        policy = parse_policy("secrets:R, net")
+        assert parse_policy(policy.describe()) == policy
+
+    def test_access_ordering(self):
+        assert Access.RWX.includes(Access.R)
+        assert not Access.R.includes(Access.RW)
+        assert Access.U.includes(Access.U)
+
+
+def graph_of(**deps):
+    """Build a graph from name -> imports mapping."""
+    graph = DependenceGraph()
+    for name, imports in deps.items():
+        graph.add(PackageInfo(name=name, imports=tuple(imports)))
+    graph.validate()
+    return graph
+
+
+class TestDependenceGraph:
+    def test_natural_dependencies_transitive(self):
+        graph = graph_of(main=["libfx"], libfx=["img"], img=[], secrets=[])
+        assert graph.natural_dependencies("main") == {"libfx", "img"}
+        assert graph.natural_dependencies("libfx") == {"img"}
+        assert graph.natural_dependencies("img") == frozenset()
+
+    def test_foreign(self):
+        graph = graph_of(main=["libfx"], libfx=["img"], img=[], secrets=[])
+        assert graph.is_foreign("libfx", "secrets")
+        assert not graph.is_foreign("libfx", "img")
+        assert not graph.is_foreign("libfx", "libfx")
+
+    def test_dependents(self):
+        graph = graph_of(main=["libfx"], libfx=["img"], img=[], secrets=[])
+        assert graph.dependents("img") == {"main", "libfx"}
+
+    def test_cycle_rejected(self):
+        graph = DependenceGraph()
+        graph.add(PackageInfo(name="a", imports=("b",)))
+        graph.add(PackageInfo(name="b", imports=("a",)))
+        with pytest.raises(ConfigError, match="cycle"):
+            graph.validate()
+
+    def test_missing_import_rejected(self):
+        graph = DependenceGraph()
+        graph.add(PackageInfo(name="a", imports=("ghost",)))
+        with pytest.raises(ConfigError, match="unknown"):
+            graph.validate()
+
+    def test_duplicate_package_rejected(self):
+        graph = DependenceGraph()
+        graph.add(PackageInfo(name="a"))
+        with pytest.raises(ConfigError):
+            graph.add(PackageInfo(name="a"))
+
+    def test_diamond_dependencies(self):
+        graph = graph_of(app=["left", "right"], left=["base"],
+                         right=["base"], base=[])
+        assert graph.natural_dependencies("app") == {"left", "right", "base"}
+
+
+def fig1_graph():
+    """Figure 1's package-dependence graph (with rcl's pseudo-package)."""
+    graph = DependenceGraph()
+    graph.add(PackageInfo(name="main", imports=("img", "libfx", "secrets", "os")))
+    graph.add(PackageInfo(name="libfx", imports=("img",)))
+    graph.add(PackageInfo(name="img"))
+    graph.add(PackageInfo(name="secrets", imports=("img",)))
+    graph.add(PackageInfo(name="os"))
+    graph.add(PackageInfo(name="encl.rcl", imports=("libfx",)))
+    graph.add(PackageInfo(name="encl.e", imports=("libfx",)))
+    graph.add(PackageInfo(name="encl.outer", imports=("libfx",)))
+    graph.add(PackageInfo(name="encl.inner", imports=("libfx",)))
+    graph.add(PackageInfo(name="encl.i", imports=("libfx",)))
+    graph.add(PackageInfo(name="encl.o", imports=("libfx",)))
+    graph.add(PackageInfo(name=LITTERBOX_USER, trusted=True))
+    graph.add(PackageInfo(name=LITTERBOX_SUPER, trusted=True))
+    graph.validate()
+    return graph
+
+
+def rcl_spec():
+    return EnclosureSpec(id=1, name="rcl", owner="main", refs=("libfx",),
+                         policy=parse_policy("secrets:R, none"))
+
+
+class TestComputeView:
+    def test_figure1_view(self):
+        """rcl's view: libfx+img full, secrets read-only, main/os absent."""
+        view = compute_view(fig1_graph(), rcl_spec())
+        assert view["libfx"] is Access.RWX
+        assert view["img"] is Access.RWX
+        assert view["secrets"] is Access.R
+        assert "main" not in view
+        assert "os" not in view
+
+    def test_user_package_always_present(self):
+        view = compute_view(fig1_graph(), rcl_spec())
+        assert view[LITTERBOX_USER] is Access.RWX
+        assert LITTERBOX_SUPER not in view
+
+    def test_unmap_natural_dependency(self):
+        spec = EnclosureSpec(id=1, name="e", owner="libfx",
+                             policy=parse_policy("img:U, none"))
+        view = compute_view(fig1_graph(), spec)
+        assert "img" not in view
+
+    def test_unknown_modifier_package_rejected(self):
+        spec = EnclosureSpec(id=1, name="e", owner="libfx",
+                             policy=parse_policy("ghost:R, none"))
+        with pytest.raises(PolicyError):
+            compute_view(fig1_graph(), spec)
+
+    def test_cannot_modify_trusted(self):
+        spec = EnclosureSpec(
+            id=1, name="e", owner="libfx",
+            policy=parse_policy(f"{LITTERBOX_USER}:U, none"))
+        with pytest.raises(PolicyError):
+            compute_view(fig1_graph(), spec)
+
+
+def env_of(spec, graph=None, env_id=None):
+    graph = graph or fig1_graph()
+    return Environment(id=env_id or spec.id, name=spec.name,
+                       view=compute_view(graph, spec),
+                       syscalls=spec.policy.syscall_numbers, spec=spec)
+
+
+class TestEnvironmentRestriction:
+    def test_enclosure_is_subset_of_trusted(self):
+        env = env_of(rcl_spec())
+        assert env.is_subset_of(make_trusted_environment())
+        assert not make_trusted_environment().is_subset_of(env)
+
+    def test_narrower_view_is_subset(self):
+        outer = env_of(EnclosureSpec(id=1, name="outer", owner="libfx",
+                                     policy=parse_policy("secrets:R, io")))
+        inner = env_of(EnclosureSpec(id=2, name="inner", owner="libfx",
+                                     policy=parse_policy("none")))
+        assert inner.is_subset_of(outer)
+        assert not outer.is_subset_of(inner)
+
+    def test_extra_syscalls_not_subset(self):
+        outer = env_of(EnclosureSpec(id=1, name="outer", owner="libfx",
+                                     policy=parse_policy("none")))
+        inner = env_of(EnclosureSpec(id=2, name="inner", owner="libfx",
+                                     policy=parse_policy("net")))
+        assert not inner.is_subset_of(outer)
+
+    def test_write_vs_read_not_subset(self):
+        outer = env_of(EnclosureSpec(id=1, name="o", owner="libfx",
+                                     policy=parse_policy("secrets:R, none")))
+        inner = env_of(EnclosureSpec(id=2, name="i", owner="libfx",
+                                     policy=parse_policy("secrets:RW, none")))
+        assert not inner.is_subset_of(outer)
+        assert outer.is_subset_of(outer)
+
+
+class TestClustering:
+    def test_packages_with_same_vector_cluster(self):
+        graph = fig1_graph()
+        envs = [make_trusted_environment(), env_of(rcl_spec(), graph)]
+        clustering = cluster_packages(graph.names(), envs)
+        # libfx and img share RWX everywhere; main and os share U.
+        assert clustering.meta_of["libfx"] == clustering.meta_of["img"]
+        assert clustering.meta_of["main"] == clustering.meta_of["os"]
+        assert clustering.meta_of["secrets"] != clustering.meta_of["libfx"]
+        assert clustering.meta_of["secrets"] != clustering.meta_of["main"]
+
+    def test_cluster_count_small(self):
+        """Clustering keeps meta-package counts within MPK's 16 keys."""
+        graph = fig1_graph()
+        envs = [make_trusted_environment(), env_of(rcl_spec(), graph)]
+        clustering = cluster_packages(graph.names(), envs)
+        assert len(clustering) <= 4
+
+    def test_no_enclosures_single_meta(self):
+        graph = fig1_graph()
+        clustering = cluster_packages(graph.names(),
+                                      [make_trusted_environment()])
+        assert len(clustering) == 1
+
+    def test_meta_lookup(self):
+        graph = fig1_graph()
+        envs = [make_trusted_environment(), env_of(rcl_spec(), graph)]
+        clustering = cluster_packages(graph.names(), envs)
+        meta = clustering.meta_for("libfx")
+        assert "img" in meta.packages

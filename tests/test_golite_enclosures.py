@@ -1,0 +1,268 @@
+"""End-to-end enclosure semantics in Golite (paper §2/§3)."""
+
+import pytest
+
+from repro.errors import EscalationFault, PageFault, PkeyFault, SyscallFault
+
+from tests.golite_helpers import run_golite
+
+ENFORCING = ["mpk", "vtx"]
+
+LIB = """
+package lib
+
+var State int
+
+func Get() int { return State }
+func Set(v int) { State = v }
+func Id(x int) int { return x }
+"""
+
+SECRETS = """
+package secretz
+
+var Value int = 777
+"""
+
+
+class TestNesting:
+    """Enclosures nest dynamically; a switch can only enter an
+    equal-or-more-restrictive environment (§2.2)."""
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_nested_restriction_allowed(self, backend):
+        """Passing one enclosure into another as a callback: §2.2 says
+        "the developer must explicitly specify the policies governing
+        the closure's access" — here, read access to the inner closure
+        (encl.main_1), so the outer enclosure may invoke it."""
+        main = """
+package main
+
+import "lib"
+
+func main() {
+    inner := with "none" func(x int) int { return lib.Id(x) }
+    // The outer view must cover everything inner's view grants
+    // (switches only tighten): the inner closure itself, executable,
+    // plus lib, which inner's body will use.
+    outer := with "encl.main_1:RWX lib:RWX, io proc" func(f func(int) int,
+            x int) int {
+        return f(x)
+    }
+    println(outer(inner, 21) * 2)
+}
+"""
+        machine, result = run_golite(main, LIB, backend=backend)
+        assert result.status == "exited", machine.fault
+        assert machine.stdout == b"42\n"
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_escalation_prevented(self, backend):
+        """Calling a *less* restrictive enclosure from inside a more
+        restrictive one is an escalation fault."""
+        main = """
+package main
+
+import "lib"
+
+func main() {
+    privileged := with "secretz:R, proc" func(x int) int {
+        return lib.Id(x)
+    }
+    // The sandbox may even execute the privileged closure's thunk —
+    // the escalation is caught at the switch itself.
+    sandbox := with "encl.main_1:RWX, none" func(f func(int) int) int {
+        return f(1)
+    }
+    println(sandbox(privileged))
+}
+"""
+        machine, result = run_golite(main, LIB, SECRETS, backend=backend)
+        assert result.status == "faulted"
+        assert isinstance(machine.fault, EscalationFault)
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_return_to_less_restrictive_allowed(self, backend):
+        """It can return to a less restrictive environment (§2.2)."""
+        main = """
+package main
+
+import "lib"
+
+func main() {
+    f := with "none" func(x int) int { return lib.Id(x) }
+    a := f(1)
+    b := lib.Id(2)   // back in the trusted environment
+    c := f(3)
+    println(a + b + c)
+}
+"""
+        machine, result = run_golite(main, LIB, backend=backend)
+        assert result.status == "exited", machine.fault
+        assert machine.stdout == b"6\n"
+
+
+class TestDynamicScope:
+    """Restrictions apply to all code invoked by the closure, however
+    deep (§2): the same package is subject to different restrictions
+    under different enclosures."""
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_same_package_two_policies(self, backend):
+        """The same package under two enclosures with different rights:
+        readable in one, unmapped in the other (§3.1)."""
+        main = """
+package main
+
+import (
+    "lib"
+    "secretz"
+)
+
+func main() {
+    reader := with "secretz:R, none" func() int { return secretz.Value }
+    blind := with "secretz:U, none" func() int { return secretz.Value }
+    println(reader())
+    println(blind())
+}
+"""
+        machine, result = run_golite(main, LIB, SECRETS, backend=backend)
+        assert result.status == "faulted"
+        assert machine.stdout == b"777\n"  # reader worked, blind faulted
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_transitively_invoked_code_restricted(self, backend):
+        """lib.Set writes lib's own state: fine.  But writing through
+        lib into a read-only foreign package faults, no matter how many
+        call levels deep."""
+        deep = """
+package deep
+
+import "secretz"
+
+func Poke() { secretz.Value = 1 }
+"""
+        main = """
+package main
+
+import (
+    "deep"
+    "secretz"
+)
+
+func main() {
+    f := with "secretz:R, none" func() int {
+        deep.Poke()
+        return 0
+    }
+    f()
+}
+"""
+        machine, result = run_golite(main, deep, SECRETS, backend=backend)
+        assert result.status == "faulted"
+        assert isinstance(machine.fault, (PkeyFault, PageFault))
+
+
+class TestProgramWidePolicies:
+    """§3.2: wrap every call into Foo in an enclosure that unmaps Bar."""
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_unmap_modifier_blocks_natural_dependency(self, backend):
+        spyware = """
+package spyware
+
+import "secretz"
+
+func Fetch() int {
+    return secretz.Value
+}
+"""
+        main = """
+package main
+
+import (
+    "secretz"
+    "spyware"
+)
+
+func main() {
+    // spyware legitimately imports secretz, but this program's policy
+    // is that it must never touch it.
+    f := with "secretz:U, none" func() int { return spyware.Fetch() }
+    println(f())
+}
+"""
+        machine, result = run_golite(main, spyware, SECRETS, backend=backend)
+        assert result.status == "faulted"
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_wrapper_functions_enforce_policy_at_every_call(self, backend):
+        main = """
+package main
+
+import "lib"
+
+var calls int
+
+func safeGet() int {
+    f := with "none" func() int { return lib.Get() }
+    calls = calls + 1
+    return f()
+}
+
+func main() {
+    lib.Set(5)
+    a := safeGet()
+    lib.Set(9)
+    b := safeGet()
+    println(a + b, calls)
+}
+"""
+        machine, result = run_golite(main, LIB, backend=backend)
+        assert result.status == "exited", machine.fault
+        assert machine.stdout == b"14 2\n"
+
+
+class TestReuse:
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_enclosure_closure_reused_many_times(self, backend):
+        """The closure can be bound and reused through the program's
+        lifetime; the policy is enforced on every execution (§2.2)."""
+        main = """
+package main
+
+import "lib"
+
+func main() {
+    f := with "none" func(x int) int { return lib.Id(x) + 1 }
+    total := 0
+    for i := 0; i < 50; i++ {
+        total = total + f(i)
+    }
+    println(total)
+}
+"""
+        machine, result = run_golite(main, LIB, backend=backend)
+        assert result.status == "exited", machine.fault
+        assert machine.stdout == b"1275\n"
+        assert machine.clock.count("switches") == 100  # 2 per call
+
+    def test_integrity_beats_confidentiality_choice(self):
+        """§3.2: integrity via read-only mapping, confidentiality via
+        not sharing — both expressible on the same package."""
+        main_integrity = """
+package main
+
+import "secretz"
+
+func main() {
+    f := with "secretz:RW, none" func() int {
+        secretz.Value = 1
+        return secretz.Value
+    }
+    println(f())
+}
+"""
+        machine, result = run_golite(main_integrity, SECRETS, backend="mpk")
+        assert result.status == "exited"
+        assert machine.stdout == b"1\n"

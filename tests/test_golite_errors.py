@@ -1,0 +1,104 @@
+"""Compile-time diagnostics of the Golite frontend."""
+
+import pytest
+
+from repro.errors import CompileError, ConfigError, PolicyError
+from repro.golite import build_program
+
+
+def expect_error(source, match, *extra):
+    with pytest.raises((CompileError, ConfigError, PolicyError),
+                       match=match):
+        build_program([source, *extra])
+
+
+WRAP = "package main\nfunc main() {{\n{body}\n}}\n"
+
+
+class TestTypeErrors:
+    def test_assign_mismatch(self):
+        expect_error(WRAP.format(body='x := 1\nx = "str"'), "cannot assign")
+
+    def test_condition_not_bool(self):
+        expect_error(WRAP.format(body="if 1 { }"), "bool")
+
+    def test_arith_on_strings(self):
+        expect_error(WRAP.format(body='x := "a" - "b"'), "string")
+
+    def test_call_non_function(self):
+        expect_error(WRAP.format(body="x := 1\ny := x(2)"), "cannot call")
+
+    def test_undefined_name(self):
+        expect_error(WRAP.format(body="x := ghost"), "undefined")
+
+    def test_redeclaration(self):
+        expect_error(WRAP.format(body="x := 1\nx := 2"), "redeclared")
+
+    def test_break_outside_loop(self):
+        expect_error(WRAP.format(body="break"), "outside loop")
+
+    def test_len_of_int(self):
+        expect_error(WRAP.format(body="x := len(3)"), "len")
+
+    def test_index_non_indexable(self):
+        expect_error(WRAP.format(body="x := 5\ny := x[0]"), "index")
+
+    def test_send_on_non_channel(self):
+        expect_error(WRAP.format(body="x := 1\nx <- 2"), "channel")
+
+    def test_receive_from_non_channel(self):
+        expect_error(WRAP.format(body="x := 1\ny := <-x"), "channel")
+
+    def test_void_assignment(self):
+        expect_error(
+            "package main\nfunc v() {}\nfunc main() { x := v() }\n", "void")
+
+
+class TestEnclosureErrors:
+    def test_bad_access_right(self):
+        expect_error(WRAP.format(
+            body='f := with "x:RWZ, none" func() int { return 1 }\nf()'),
+            "access right")
+
+    def test_bad_category(self):
+        expect_error(WRAP.format(
+            body='f := with "quantum" func() int { return 1 }\nf()'),
+            "unknown")
+
+    def test_policy_must_be_literal(self):
+        """`with` without a string literal is a parse error — policies
+        are literals so the compiler can validate them (§5.1)."""
+        expect_error(WRAP.format(
+            body='p := "none"\nf := with p func() int { return 1 }'),
+            "literal")
+
+    def test_unknown_package_in_policy_fails_at_init(self):
+        """Unknown packages in modifiers surface at Init (satisfiability
+        validation, §5.3)."""
+        from repro.machine import Machine
+        image = build_program([WRAP.format(
+            body='f := with "ghostpkg:R, none" func() int { return 1 }'
+                 "\nf()")])
+        with pytest.raises(PolicyError, match="ghostpkg"):
+            Machine(image, "mpk")
+
+
+class TestPackageErrors:
+    def test_import_cycle(self):
+        a = 'package a\nimport "b"\nfunc F() int { return 1 }\n'
+        b = 'package b\nimport "a"\nfunc G() int { return 1 }\n'
+        expect_error("package main\nimport \"a\"\nfunc main() { a.F() }\n",
+                     "cycle", a, b)
+
+    def test_unknown_import(self):
+        expect_error('package main\nimport "ghost"\nfunc main() {}\n',
+                     "unknown")
+
+    def test_struct_redeclared_across_packages(self):
+        a = "package a\ntype T struct { x int }\n"
+        b = "package b\ntype T struct { y int }\n"
+        expect_error("package main\nfunc main() {}\n", "redeclared", a, b)
+
+    def test_go_requires_named_function(self):
+        expect_error(WRAP.format(
+            body="f := func() int { return 1 }\ngo f()"), "named")

@@ -1,0 +1,431 @@
+"""Language-level tests for the Golite frontend."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.golite import build_program, parse_source
+
+from tests.golite_helpers import run_golite, run_main
+
+
+class TestLexerParser:
+    def test_parse_minimal(self):
+        file = parse_source("package main\nfunc main() {}\n")
+        assert file.package == "main"
+        assert file.funcs[0].name == "main"
+
+    def test_imports(self):
+        file = parse_source(
+            'package a\nimport (\n"b"\n"c/d"\n)\nfunc main() {}\n')
+        assert file.imports == ["b", "c/d"]
+
+    def test_asi_between_statements(self):
+        out = run_main('x := 1\ny := 2\nprintln(x + y)')
+        assert out == "3\n"
+
+    def test_comments_ignored(self):
+        out = run_main('// line comment\nx := 1 /* block */ + 2\nprintln(x)')
+        assert out == "3\n"
+
+    def test_hex_and_char_literals(self):
+        out = run_main("println(0x10, 'A')")
+        assert out == "16 65\n"
+
+    def test_string_escapes(self):
+        out = run_main(r'println("a\tb\\c")')
+        assert out == "a\tb\\c\n"
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            parse_source('package main\nvar s = "oops\n')
+
+    def test_syntax_error_has_line(self):
+        with pytest.raises(CompileError) as ei:
+            parse_source("package main\nfunc main() {\n  $$$\n}\n")
+        assert "3" in str(ei.value)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        assert run_main("println(2 + 3 * 4)") == "14\n"
+        assert run_main("println((2 + 3) * 4)") == "20\n"
+        assert run_main("println(10 - 2 - 3)") == "5\n"
+
+    def test_division_truncates_toward_zero(self):
+        assert run_main("println(-7 / 2, -7 % 2)") == "-3 -1\n"
+
+    def test_bitwise(self):
+        assert run_main("println(12 & 10, 12 | 10, 12 ^ 10, 1 << 4, 32 >> 2)") \
+            == "8 14 6 16 8\n"
+
+    def test_comparisons_and_bools(self):
+        assert run_main("println(1 < 2, 2 <= 1, 3 == 3, 3 != 3)") \
+            == "1 0 1 0\n"
+
+    def test_short_circuit_and(self):
+        out = run_main(
+            "x := 0\n"
+            "if false && boom() { x = 1 }\n"
+            "println(x)",
+            prelude="func boom() bool { panic(1)\nreturn true }")
+        assert out == "0\n"
+
+    def test_short_circuit_or(self):
+        out = run_main(
+            "if true || boom() { println(1) }",
+            prelude="func boom() bool { panic(1)\nreturn true }")
+        assert out == "1\n"
+
+    def test_unary(self):
+        assert run_main("println(-5, !true, !false)") == "-5 0 1\n"
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        prelude = """
+func grade(x int) string {
+    if x >= 90 {
+        return "A"
+    } else if x >= 80 {
+        return "B"
+    } else {
+        return "C"
+    }
+}
+"""
+        out = run_main('println(grade(95), grade(85), grade(10))',
+                       prelude=prelude)
+        assert out == "A B C\n"
+
+    def test_for_three_clause(self):
+        out = run_main(
+            "sum := 0\nfor i := 0; i < 5; i++ { sum = sum + i }\nprintln(sum)")
+        assert out == "10\n"
+
+    def test_for_cond_only(self):
+        out = run_main(
+            "n := 1\nfor n < 100 { n = n * 2 }\nprintln(n)")
+        assert out == "128\n"
+
+    def test_for_infinite_with_break(self):
+        out = run_main(
+            "i := 0\nfor {\ni++\nif i == 7 { break }\n}\nprintln(i)")
+        assert out == "7\n"
+
+    def test_continue(self):
+        out = run_main(
+            "sum := 0\n"
+            "for i := 0; i < 10; i++ {\n"
+            "if i % 2 == 0 { continue }\n"
+            "sum = sum + i\n}\n"
+            "println(sum)")
+        assert out == "25\n"
+
+    def test_nested_loops(self):
+        out = run_main(
+            "count := 0\n"
+            "for i := 0; i < 3; i++ {\n"
+            "for j := 0; j < 4; j++ { count++ }\n}\n"
+            "println(count)")
+        assert out == "12\n"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        out = run_main("println(fib(15))", prelude="""
+func fib(n int) int {
+    if n < 2 { return n }
+    return fib(n-1) + fib(n-2)
+}
+""")
+        assert out == "610\n"
+
+    def test_mutual_recursion(self):
+        out = run_main("println(even(10), odd(10))", prelude="""
+func even(n int) bool {
+    if n == 0 { return true }
+    return odd(n - 1)
+}
+func odd(n int) bool {
+    if n == 0 { return false }
+    return even(n - 1)
+}
+""")
+        assert out == "1 0\n"
+
+    def test_void_function(self):
+        out = run_main("hello()\nhello()", prelude="""
+func hello() { println("hi") }
+""")
+        assert out == "hi\nhi\n"
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(CompileError, match="args"):
+            build_program(["package main\nfunc f(x int) int { return x }\n"
+                           "func main() { f(1, 2) }\n"])
+
+    def test_wrong_return_type(self):
+        with pytest.raises(CompileError, match="return"):
+            build_program(['package main\nfunc f() int { return "s" }\n'
+                           "func main() {}\n"])
+
+
+class TestStrings:
+    def test_concat_len_index(self):
+        out = run_main('s := "ab" + "cd"\nprintln(s, len(s), s[2])')
+        assert out == "abcd 4 99\n"
+
+    def test_substring(self):
+        out = run_main('s := "hello world"\nprintln(s[6:], s[:5], s[3:8])')
+        assert out == "world hello lo wo\n"
+
+    def test_compare(self):
+        out = run_main('println("abc" == "abc", "abc" != "abd", "a" < "b")')
+        assert out == "1 1 1\n"
+
+    def test_atoi_itoa(self):
+        out = run_main('println(atoi("42") + 1, itoa(-7) + "!")')
+        assert out == "43 -7!\n"
+
+    def test_bytes_roundtrip(self):
+        out = run_main('b := bytes("hi")\nb[0] = 72\nprintln(string(b))')
+        assert out == "Hi\n"
+
+    def test_index_out_of_range_faults(self):
+        machine, result = run_golite(
+            'package main\nfunc main() { s := "ab"\nprintln(s[5]) }\n')
+        assert result.status == "faulted"
+
+
+class TestSlices:
+    def test_make_len_cap(self):
+        out = run_main("s := make([]int, 3, 10)\nprintln(len(s), cap(s))")
+        assert out == "3 10\n"
+
+    def test_zeroed(self):
+        out = run_main("s := make([]int, 3)\nprintln(s[0]+s[1]+s[2])")
+        assert out == "0\n"
+
+    def test_set_get(self):
+        out = run_main(
+            "s := make([]int, 4)\nfor i := 0; i < 4; i++ { s[i] = i*i }\n"
+            "println(s[0], s[1], s[2], s[3])")
+        assert out == "0 1 4 9\n"
+
+    def test_append_grows(self):
+        out = run_main(
+            "s := make([]int, 0)\n"
+            "for i := 0; i < 20; i++ { s = append(s, i) }\n"
+            "println(len(s), s[19])")
+        assert out == "20 19\n"
+
+    def test_byte_slices(self):
+        out = run_main(
+            "b := make([]byte, 3)\nb[0] = 104\nb[1] = 105\nb[2] = 33\n"
+            "println(string(b))")
+        assert out == "hi!\n"
+
+    def test_copy(self):
+        out = run_main(
+            'dst := make([]byte, 5)\nn := copy(dst, bytes("abcde"))\n'
+            "println(n, string(dst))")
+        assert out == "5 abcde\n"
+
+    def test_bounds_fault(self):
+        machine, result = run_golite(
+            "package main\nfunc main() { s := make([]int, 2)\ns[5] = 1 }\n")
+        assert result.status == "faulted"
+
+
+class TestStructs:
+    PRELUDE = """
+type Point struct {
+    x int
+    y int
+}
+func norm2(p *Point) int { return p.x*p.x + p.y*p.y }
+"""
+
+    def test_new_and_fields(self):
+        out = run_main(
+            "p := new(Point)\np.x = 3\np.y = 4\nprintln(norm2(p))",
+            prelude=self.PRELUDE)
+        assert out == "25\n"
+
+    def test_zero_initialized(self):
+        out = run_main("p := new(Point)\nprintln(p.x, p.y)",
+                       prelude=self.PRELUDE)
+        assert out == "0 0\n"
+
+    def test_pointer_sharing(self):
+        out = run_main(
+            "p := new(Point)\nq := p\nq.x = 9\nprintln(p.x)",
+            prelude=self.PRELUDE)
+        assert out == "9\n"
+
+    def test_unknown_field(self):
+        with pytest.raises(CompileError, match="field"):
+            build_program(["package main\ntype P struct { x int }\n"
+                           "func main() { p := new(P)\np.z = 1 }\n"])
+
+    def test_struct_value_type_rejected(self):
+        with pytest.raises(CompileError, match="reference"):
+            build_program(["package main\ntype P struct { x int }\n"
+                           "func f(p P) {}\nfunc main() {}\n"])
+
+
+class TestClosures:
+    def test_capture_by_value(self):
+        out = run_main(
+            "x := 10\nf := func() int { return x }\nx = 20\nprintln(f())")
+        assert out == "10\n"  # captured at creation
+
+    def test_counter_via_record(self):
+        out = run_main(
+            "c := 0\ninc := func() int { c = c + 1\nreturn c }\n"
+            "println(inc(), inc(), inc())")
+        assert out == "1 2 3\n"  # captures live in the record (shared cell)
+
+    def test_closure_args(self):
+        out = run_main(
+            "mul := func(a int, b int) int { return a * b }\n"
+            "println(mul(6, 7))")
+        assert out == "42\n"
+
+    def test_closure_as_value(self):
+        out = run_main(
+            "f := func(x int) int { return x + 1 }\n"
+            "g := f\nprintln(g(41))")
+        assert out == "42\n"
+
+    def test_nested_closures(self):
+        out = run_main(
+            "base := 100\n"
+            "outer := func(a int) int {\n"
+            "  inner := func(b int) int { return base + a + b }\n"
+            "  return inner(1)\n}\n"
+            "println(outer(10))")
+        assert out == "111\n"
+
+
+class TestChannelsAndGoroutines:
+    def test_buffered_roundtrip(self):
+        out = run_main(
+            "ch := make(chan int, 2)\nch <- 5\nch <- 6\n"
+            "println(<-ch, <-ch)")
+        assert out == "5 6\n"
+
+    def test_goroutine_producer(self):
+        out = run_main(
+            "ch := make(chan int, 1)\ngo produce(ch)\n"
+            "println(<-ch + <-ch + <-ch)",
+            prelude="func produce(ch chan int) {\n"
+                    "for i := 1; i <= 3; i++ { ch <- i }\n}")
+        assert out == "6\n"
+
+    def test_chan_len(self):
+        out = run_main("ch := make(chan int, 4)\nch <- 1\nch <- 2\n"
+                       "println(len(ch))")
+        assert out == "2\n"
+
+    def test_close_drains_to_zero(self):
+        out = run_main(
+            "ch := make(chan int, 2)\nch <- 9\nclose(ch)\n"
+            "println(<-ch, <-ch)")
+        assert out == "9 0\n"
+
+    def test_many_goroutines(self):
+        out = run_main(
+            "ch := make(chan int, 16)\n"
+            "for i := 0; i < 8; i++ { go add(ch, i) }\n"
+            "sum := 0\n"
+            "for i := 0; i < 8; i++ { sum = sum + <-ch }\n"
+            "println(sum)",
+            prelude="func add(ch chan int, v int) { ch <- v }")
+        assert out == "28\n"
+
+
+class TestPackages:
+    UTIL = """
+package util
+
+const Answer = 42
+var Counter int
+
+func Double(x int) int { return 2 * x }
+func bump() { Counter = Counter + 1 }
+func Bump() { bump() }
+"""
+
+    def test_cross_package_call_and_const(self):
+        machine, result = run_golite(
+            'package main\nimport "util"\n'
+            "func main() { println(util.Double(util.Answer)) }\n",
+            self.UTIL)
+        assert result.status == "exited"
+        assert machine.stdout == b"84\n"
+
+    def test_cross_package_global(self):
+        machine, result = run_golite(
+            'package main\nimport "util"\n'
+            "func main() { util.Bump()\nutil.Bump()\nprintln(util.Counter) }\n",
+            self.UTIL)
+        assert machine.stdout == b"2\n"
+
+    def test_unexported_rejected(self):
+        with pytest.raises(CompileError, match="unexported"):
+            build_program([
+                'package main\nimport "util"\n'
+                "func main() { util.bump() }\n",
+                self.UTIL])
+
+    def test_global_initializers_run_in_dependency_order(self):
+        dep = "package dep\nvar Value int = 7\n"
+        machine, _ = run_golite(
+            'package main\nimport "dep"\nvar mine int = 3\n'
+            "func main() { println(dep.Value + mine) }\n",
+            dep)
+        assert machine.stdout == b"10\n"
+
+    def test_duplicate_package_rejected(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            build_program(["package a\n", "package a\n",
+                           "package main\nfunc main() {}\n"])
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(CompileError, match="main"):
+            build_program(["package a\nfunc F() {}\n"])
+
+
+class TestEnclosureCompilation:
+    def test_bad_policy_rejected_at_compile_time(self):
+        with pytest.raises(Exception, match="unknown"):
+            build_program([
+                "package main\nfunc main() {\n"
+                'f := with "ghost:QQ, none" func() int { return 1 }\n'
+                "f()\n}\n"])
+
+    def test_refs_recorded(self):
+        from repro.golite import compile_program
+        util = "package util\nfunc F() int { return 1 }\n"
+        main = ('package main\nimport "util"\nfunc main() {\n'
+                'f := with "none" func() int { return util.F() }\n'
+                "println(f())\n}\n")
+        objects = compile_program([main, util])
+        main_obj = next(o for o in objects if o.name == "main")
+        spec = main_obj.enclosures[0]
+        assert spec.refs == ("util",)
+
+    def test_enclosure_returns_value(self):
+        out = run_main(
+            'f := with "none" func(x int) int { return x * 3 }\n'
+            "println(f(14))")
+        assert out == "42\n"
+
+    def test_enclosure_literal_lives_in_own_rodata(self):
+        from repro.golite import build_program as bp
+        image = bp(["package main\nfunc main() {\n"
+                    'f := with "none" func() string { return "inside" }\n'
+                    "println(f())\n}\n"])
+        names = {load.section.name for load in image.sections}
+        assert "encl.main_1.rodata" in names

@@ -1,0 +1,128 @@
+"""Property-based tests for the Golite compiler.
+
+Random expression trees are compiled, executed on the simulated
+machine, and cross-checked against ground truth computed in host
+Python with Go semantics (64-bit wraparound, truncated division).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.golite import build_program
+from repro.golite.lexer import lex
+from repro.hw.mmu import wrap64
+from repro.machine import Machine
+
+# ------------------------------------------------------------ expression gen
+
+_INT = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+@st.composite
+def expr_trees(draw, depth=0):
+    """(golite_source, python_value) pairs with identical semantics."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(_INT)
+        if value < 0:
+            return f"(0 - {-value})", value
+        return str(value), value
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"]))
+    left_src, left_val = draw(expr_trees(depth=depth + 1))
+    right_src, right_val = draw(expr_trees(depth=depth + 1))
+    if op in ("/", "%") and right_val == 0:
+        right_src, right_val = "1", 1
+    if op == "+":
+        value = wrap64(left_val + right_val)
+    elif op == "-":
+        value = wrap64(left_val - right_val)
+    elif op == "*":
+        value = wrap64(left_val * right_val)
+    elif op == "/":
+        q = abs(left_val) // abs(right_val)
+        value = wrap64(q if (left_val < 0) == (right_val < 0) else -q)
+    elif op == "%":
+        q = abs(left_val) // abs(right_val)
+        q = q if (left_val < 0) == (right_val < 0) else -q
+        value = wrap64(left_val - q * right_val)
+    elif op == "&":
+        value = wrap64(left_val & right_val)
+    elif op == "|":
+        value = wrap64(left_val | right_val)
+    else:
+        value = wrap64(left_val ^ right_val)
+    return f"({left_src} {op} {right_src})", value
+
+
+def run_expression(source_expr: str) -> int:
+    program = (f"package main\nvar out int\n"
+               f"func main() {{ out = {source_expr} }}\n")
+    machine = Machine(build_program([program]), "baseline")
+    result = machine.run()
+    assert result.status == "exited", machine.fault
+    return machine.read_global("main.out")
+
+
+class TestCompiledArithmetic:
+    @given(expr_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_go_semantics(self, tree):
+        source, expected = tree
+        assert run_expression(source) == expected
+
+    @given(_INT, _INT)
+    @settings(max_examples=20, deadline=None)
+    def test_comparisons(self, a, b):
+        program = (
+            "package main\nvar out int\nfunc main() {\n"
+            f"x := {a if a >= 0 else f'(0 - {-a})'}\n"
+            f"y := {b if b >= 0 else f'(0 - {-b})'}\n"
+            "r := 0\n"
+            "if x < y { r = r + 1 }\n"
+            "if x == y { r = r + 2 }\n"
+            "if x >= y { r = r + 4 }\n"
+            "out = r\n}\n")
+        machine = Machine(build_program([program]), "baseline")
+        assert machine.run().status == "exited"
+        expected = (1 if a < b else 0) + (2 if a == b else 0) + \
+            (4 if a >= b else 0)
+        assert machine.read_global("main.out") == expected
+
+
+class TestLexerProperties:
+    @given(st.lists(st.sampled_from(
+        ["foo", "x1", "42", "0x1F", '"s"', "+", "-", "==", "(", ")"]),
+        min_size=0, max_size=12))
+    @settings(max_examples=60)
+    def test_lexing_never_crashes_on_token_soup(self, tokens):
+        source = " ".join(tokens)
+        lexed = lex(source)
+        assert lexed[-1].kind == "EOF"
+
+    @given(st.integers(0, 1 << 62))
+    @settings(max_examples=40)
+    def test_int_literals_roundtrip(self, value):
+        tokens = lex(f"{value} 0x{value:x}")
+        ints = [int(t.value) for t in tokens if t.kind == "INT"]
+        assert ints == [value, value]
+
+    @given(st.text(alphabet=st.characters(
+        codec="ascii", exclude_characters='"\\\n'), max_size=30))
+    @settings(max_examples=60)
+    def test_string_literals_roundtrip(self, text):
+        token = lex(f'"{text}"')[0]
+        assert token.kind == "STRING"
+        assert token.value == text
+
+
+class TestStringProperties:
+    @given(st.lists(st.text(alphabet="abcXYZ 09", max_size=8), min_size=1,
+                    max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_concat_chain(self, parts):
+        expr = " + ".join(f'"{p}"' for p in parts)
+        program = (f'package main\nvar out string\n'
+                   f"func main() {{ out = {expr} }}\n")
+        machine = Machine(build_program([program]), "baseline")
+        assert machine.run().status == "exited"
+        addr = machine.read_global("main.out")
+        assert machine.read_cstr(addr).decode() == "".join(parts)

@@ -1,0 +1,162 @@
+"""Unit tests for the linker and ELF image layer."""
+
+import pytest
+
+from repro.core.enclosure import EnclosureSpec, LITTERBOX_SUPER, LITTERBOX_USER
+from repro.core.policy import parse_policy
+from repro.errors import LinkError
+from repro.hw.pages import PAGE_SIZE, Perm
+from repro.image.elf import CodeObject, FuncDef, GlobalDef
+from repro.image.linker import DATA_BASE, RODATA_BASE, TEXT_BASE, link
+from repro.isa.instr import Instr, SymRef
+from repro.isa.opcodes import INSTR_SIZE, Op
+
+
+def obj(name, funcs=None, imports=(), globals_=None, rodata=None,
+        enclosures=None):
+    return CodeObject(
+        name=name,
+        imports=imports,
+        functions=funcs or [],
+        globals=globals_ or [],
+        rodata=rodata or {},
+        enclosures=enclosures or [],
+    )
+
+
+def fn(name, n_instrs=2, enclosure=None):
+    instrs = [Instr(Op.NOP)] * (n_instrs - 1) + [Instr(Op.RET)]
+    return FuncDef(name, list(instrs), enclosure=enclosure)
+
+
+class TestLayout:
+    def test_text_rodata_data_regions(self):
+        image = link([obj("main", [fn("main.main")],
+                          globals_=[GlobalDef("main.g", 8)],
+                          rodata={"main.lit0": b"\x05\0\0\0\0\0\0\0hello"})])
+        assert TEXT_BASE <= image.symbols["main.main"] < RODATA_BASE
+        assert RODATA_BASE <= image.symbols["main.lit0"] < DATA_BASE
+        assert image.symbols["main.g"] >= DATA_BASE
+
+    def test_sections_page_aligned_and_disjoint(self):
+        from repro.hw.pages import check_disjoint
+        image = link([
+            obj("a", [fn("a.F", 300)]),
+            obj("b", [fn("b.G", 500)]),
+            obj("main", [fn("main.main")], imports=("a", "b")),
+        ])
+        for load in image.sections:
+            assert load.section.base % PAGE_SIZE == 0
+        check_disjoint([load.section for load in image.sections])
+
+    def test_functions_packed_within_package(self):
+        image = link([obj("main", [fn("main.main", 3), fn("main.other", 2)])])
+        assert image.symbols["main.other"] == \
+            image.symbols["main.main"] + 3 * INSTR_SIZE
+
+    def test_large_function_spans_pages(self):
+        image = link([obj("main", [fn("main.main", 600)])])
+        text = image.section_named("main.text")
+        assert text.section.size >= 600 * INSTR_SIZE
+
+    def test_litterbox_packages_present(self):
+        image = link([obj("main", [fn("main.main")])])
+        assert LITTERBOX_USER in image.graph
+        assert LITTERBOX_SUPER in image.graph
+        assert image.graph.get(LITTERBOX_USER).trusted
+
+    def test_pkgid_symbols(self):
+        image = link([obj("zeta", [fn("zeta.F")]),
+                      obj("main", [fn("main.main")], imports=("zeta",))])
+        names = sorted(image.graph.names())
+        for index, name in enumerate(names):
+            assert image.symbols[f"pkgid:{name}"] == index
+
+    def test_encoded_bytes_decode_back(self):
+        image = link([obj("main", [fn("main.main", 4)])])
+        text = image.section_named("main.text")
+        addr = image.symbols["main.main"]
+        offset = addr - text.section.base
+        raw = text.data[offset:offset + INSTR_SIZE]
+        assert Instr.decode(raw).op == Op.NOP
+
+
+class TestErrors:
+    def test_duplicate_symbol(self):
+        with pytest.raises(LinkError, match="duplicate"):
+            link([obj("main", [fn("main.main"), fn("main.main")])])
+
+    def test_duplicate_package(self):
+        with pytest.raises(LinkError, match="duplicate"):
+            link([obj("main", [fn("main.main")]),
+                  obj("main", [fn("main.other")])])
+
+    def test_missing_entry(self):
+        with pytest.raises(LinkError, match="entry"):
+            link([obj("a", [fn("a.F")])])
+
+    def test_undefined_symbol_in_code(self):
+        bad = FuncDef("main.main", [Instr(Op.CALL, SymRef("ghost.F")),
+                                    Instr(Op.RET)])
+        with pytest.raises(LinkError, match="ghost"):
+            link([obj("main", [bad])])
+
+    def test_unknown_enclosure_reference(self):
+        with pytest.raises(LinkError, match="enclosure"):
+            link([obj("main", [fn("main.main"),
+                               fn("encl.x.body", enclosure="x")])])
+
+    def test_owner_mismatch(self):
+        spec = EnclosureSpec(id=0, name="e", owner="other",
+                             policy=parse_policy("none"))
+        with pytest.raises(LinkError, match="owner"):
+            link([obj("main", [fn("main.main")], enclosures=[spec])])
+
+
+class TestEnclosureMaterialization:
+    def _image(self):
+        spec = EnclosureSpec(id=0, name="e", owner="main", refs=("lib",),
+                             policy=parse_policy("none"),
+                             thunk_symbol="encl.e.thunk",
+                             body_symbol="encl.e.body")
+        thunk = FuncDef("encl.e.thunk", [
+            Instr(Op.PUSH, SymRef("encl:e")),
+            Instr(Op.LBCALL, 0, 1),
+            Instr(Op.DROP),
+            Instr(Op.CALL, SymRef("encl.e.body")),
+            Instr(Op.LBCALL, 1, 0),
+            Instr(Op.DROP),
+            Instr(Op.RET),
+        ], enclosure="e")
+        return link([
+            obj("lib", [fn("lib.F")]),
+            obj("main", [fn("main.main"), thunk,
+                         fn("encl.e.body", enclosure="e")],
+                imports=("lib",), enclosures=[spec]),
+        ])
+
+    def test_pseudo_package_created(self):
+        image = self._image()
+        assert "encl.e" in image.graph
+        assert image.graph.get("encl.e").imports == ("lib",)
+
+    def test_own_text_section(self):
+        image = self._image()
+        section = image.section_named("encl.e.text")
+        assert section.owner == "encl.e"
+        assert section.section.perms == Perm.RX
+
+    def test_spec_addresses_resolved(self):
+        image = self._image()
+        spec = image.enclosure_named("e")
+        assert spec.thunk_addr == image.symbols["encl.e.thunk"]
+        assert spec.body_addr == image.symbols["encl.e.body"]
+        assert image.symbols["encl:e"] == spec.id
+
+    def test_verif_covers_exactly_the_lbcalls(self):
+        image = self._image()
+        spec = image.enclosure_named("e")
+        assert image.verif == {
+            spec.thunk_addr + 1 * INSTR_SIZE: 0,   # Prolog
+            spec.thunk_addr + 4 * INSTR_SIZE: 1,   # Epilog
+        }

@@ -1,0 +1,104 @@
+"""Tests for the LWC software backend (§8's suggested alternative)."""
+
+import pytest
+
+from repro.errors import PageFault, SyscallFault
+from repro.machine import Machine, MachineConfig
+
+from tests.fig1 import run_fig1
+from tests.golite_helpers import run_golite
+
+
+class TestEnforcement:
+    def test_happy_path(self):
+        machine, result = run_fig1("lwc")
+        assert result.status == "exited", machine.fault
+        assert machine.read_global("main.result") == -1234
+
+    def test_integrity(self):
+        machine, result = run_fig1("lwc", body="smash")
+        assert result.status == "faulted"
+        assert isinstance(machine.fault, PageFault)
+        assert machine.read_global("secrets.original") == 1234
+
+    def test_confidentiality(self):
+        machine, result = run_fig1("lwc", body="peek")
+        assert result.status == "faulted"
+
+    def test_syscall_filter(self):
+        machine, result = run_fig1("lwc", body="syscall")
+        assert result.status == "faulted"
+        assert isinstance(machine.fault, SyscallFault)
+
+    def test_syscall_allowed_category(self):
+        machine, result = run_fig1("lwc", body="syscall",
+                                   policy="secrets:R, proc")
+        assert result.status == "exited", machine.fault
+        assert machine.read_global("main.result") == 1000
+
+    def test_golite_program(self):
+        machine, result = run_golite(
+            "package main\nfunc main() {\n"
+            'f := with "none" func(x int) int { return x * 2 }\n'
+            "println(f(21))\n}\n", backend="lwc")
+        assert result.status == "exited", machine.fault
+        assert machine.stdout == b"42\n"
+
+
+class TestCostProfile:
+    """LWC sits between MPK and VTX for switches, and at baseline for
+    system calls (no seccomp, no hypercalls)."""
+
+    def _switch_cost(self, backend):
+        machine, _ = run_fig1(backend)
+        env = machine.litterbox.env(1)
+        before = machine.clock.now_ns
+        machine.backend.switch_to(machine.cpu, env)
+        return machine.clock.now_ns - before
+
+    def test_switch_costs(self):
+        """Per switch: MPK's PKRU write is far cheapest; LWC's host
+        syscall and VTX's guest syscall are the same order of
+        magnitude (a few hundred ns)."""
+        mpk = self._switch_cost("mpk")
+        lwc = self._switch_cost("lwc")
+        vtx = self._switch_cost("vtx")
+        assert mpk * 5 < lwc
+        assert mpk * 5 < vtx
+        assert vtx / 2 < lwc < vtx * 2
+
+    def test_no_vm_exits(self):
+        machine, _ = run_fig1("lwc", body="syscall",
+                              policy="secrets:R, proc")
+        assert machine.clock.count("vm_exits") == 0
+
+    def test_syscall_cheaper_than_vtx(self):
+        def syscall_total(backend):
+            machine, result = run_fig1(backend, body="syscall",
+                                       policy="secrets:R, proc")
+            assert result.status == "exited"
+            return machine.clock.now_ns
+
+        assert syscall_total("lwc") < syscall_total("vtx")
+
+    def test_kernel_copy_walks_context_table(self):
+        """Like VT-x (and unlike MPK), the kernel's copy path uses the
+        context's own mappings, so write()-based exfiltration faults."""
+        from tests.test_litterbox_api import TestKernelCopyAsymmetry
+        image = TestKernelCopyAsymmetry()._image()
+        machine = Machine(image, MachineConfig(backend="lwc"))
+        result = machine.run()
+        assert result.status == "faulted"
+
+
+class TestWorkloadsOnLwc:
+    def test_http_server(self):
+        from repro.workloads.httpserver import run_http_server
+        driver = run_http_server("lwc")
+        assert driver.request().startswith(b"HTTP/1.1 200 OK")
+
+    def test_throughput_between_mpk_and_vtx(self):
+        from repro.workloads.httpserver import run_http_server
+        rates = {b: run_http_server(b).throughput(10)
+                 for b in ("mpk", "lwc", "vtx")}
+        assert rates["vtx"] < rates["lwc"] < rates["mpk"]

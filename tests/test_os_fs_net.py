@@ -1,0 +1,183 @@
+"""Unit tests for the simulated filesystem and network stack."""
+
+import pytest
+
+from repro.os import (
+    CollectorService,
+    FileSystem,
+    Network,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    errno,
+    ip_of,
+    ip_str,
+)
+
+
+class TestFileSystem:
+    def test_add_and_read(self):
+        fs = FileSystem()
+        fs.add_file("/home/user/.ssh/id_rsa", b"PRIVATE KEY")
+        assert fs.read_file("/home/user/.ssh/id_rsa") == b"PRIVATE KEY"
+
+    def test_open_missing_without_creat(self):
+        fs = FileSystem()
+        assert fs.open("/nope", O_RDONLY) == -errno.ENOENT
+
+    def test_open_creat_write_read(self):
+        fs = FileSystem()
+        handle = fs.open("/out.txt", O_WRONLY | O_CREAT)
+        assert FileSystem.write_at(handle, b"hello") == 5
+        assert fs.read_file("/out.txt") == b"hello"
+
+    def test_read_denied_on_wronly(self):
+        fs = FileSystem()
+        handle = fs.open("/x", O_WRONLY | O_CREAT)
+        assert FileSystem.read_at(handle, 4) == -errno.EACCES
+
+    def test_write_denied_on_rdonly(self):
+        fs = FileSystem()
+        fs.add_file("/x", b"abc")
+        handle = fs.open("/x", O_RDONLY)
+        assert FileSystem.write_at(handle, b"zz") == -errno.EACCES
+
+    def test_trunc(self):
+        fs = FileSystem()
+        fs.add_file("/x", b"previous content")
+        fs.open("/x", O_WRONLY | O_TRUNC)
+        assert fs.read_file("/x") == b""
+
+    def test_append(self):
+        fs = FileSystem()
+        fs.add_file("/x", b"one")
+        handle = fs.open("/x", O_WRONLY | O_APPEND)
+        FileSystem.write_at(handle, b"two")
+        assert fs.read_file("/x") == b"onetwo"
+
+    def test_sequential_reads_advance(self):
+        fs = FileSystem()
+        fs.add_file("/x", b"abcdef")
+        handle = fs.open("/x", O_RDONLY)
+        assert FileSystem.read_at(handle, 3) == b"abc"
+        assert FileSystem.read_at(handle, 3) == b"def"
+        assert FileSystem.read_at(handle, 3) == b""
+
+    def test_unlink_and_stat(self):
+        fs = FileSystem()
+        fs.add_file("/x", b"1234")
+        assert fs.stat_size("/x") == 4
+        assert fs.unlink("/x") == 0
+        assert fs.stat_size("/x") == -errno.ENOENT
+        assert fs.unlink("/x") == -errno.ENOENT
+
+    def test_rename(self):
+        fs = FileSystem()
+        fs.add_file("/a", b"data")
+        assert fs.rename("/a", "/b/c") == 0
+        assert fs.read_file("/b/c") == b"data"
+        assert not fs.exists("/a")
+
+    def test_listdir(self):
+        fs = FileSystem()
+        fs.add_file("/home/u/.ssh/id_rsa", b"k")
+        fs.add_file("/home/u/.ssh/id_rsa.pub", b"p")
+        fs.add_file("/home/u/other", b"o")
+        assert fs.listdir("/home/u/.ssh") == ["id_rsa", "id_rsa.pub"]
+
+    def test_path_normalization(self):
+        fs = FileSystem()
+        fs.add_file("relative//path", b"x")
+        assert fs.read_file("/relative/path") == b"x"
+
+
+class TestIpHelpers:
+    def test_roundtrip(self):
+        assert ip_str(ip_of("127.0.0.1")) == "127.0.0.1"
+        assert ip_of("1.2.3.4") == 0x01020304
+
+    def test_bad_address(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ip_of("300.0.0.1")
+
+
+class TestNetwork:
+    def test_connect_refused_without_listener(self):
+        net = Network()
+        assert net.connect(ip_of("127.0.0.1"), 8080) == -errno.ECONNREFUSED
+
+    def test_listener_accept_flow(self):
+        net = Network()
+        listener = net.bind_listen(8080, 4)
+        conn = net.connect(ip_of("127.0.0.1"), 8080)
+        assert not isinstance(conn, int)
+        accepted = Network.accept(listener)
+        assert accepted is conn
+        assert Network.accept(listener) is None
+
+    def test_port_reuse_rejected(self):
+        net = Network()
+        net.bind_listen(80, 1)
+        assert net.bind_listen(80, 1) == -errno.EADDRINUSE
+
+    def test_backlog_limit(self):
+        net = Network()
+        net.bind_listen(80, 1)
+        assert not isinstance(net.connect(ip_of("127.0.0.1"), 80), int)
+        assert net.connect(ip_of("127.0.0.1"), 80) == -errno.ECONNREFUSED
+
+    def test_bidirectional_stream(self):
+        net = Network()
+        listener = net.bind_listen(80, 4)
+        conn = net.connect(ip_of("127.0.0.1"), 80)
+        Network.accept(listener)
+        conn.client.send(b"request")
+        assert conn.server.recv(100) == b"request"
+        conn.server.send(b"response")
+        assert conn.client.recv(100) == b"response"
+
+    def test_recv_blocks_then_eof(self):
+        net = Network()
+        listener = net.bind_listen(80, 4)
+        conn = net.connect(ip_of("127.0.0.1"), 80)
+        Network.accept(listener)
+        assert conn.server.recv(10) is None  # would block
+        conn.client.close()
+        assert conn.server.recv(10) == b""  # EOF
+
+    def test_send_to_closed_peer_fails(self):
+        net = Network()
+        listener = net.bind_listen(80, 4)
+        conn = net.connect(ip_of("127.0.0.1"), 80)
+        Network.accept(listener)
+        conn.server.close()
+        assert conn.client.send(b"x") < 0
+
+    def test_waker_called_on_connect_and_data(self):
+        net = Network()
+        woken = []
+        net.waker = woken.append
+        listener = net.bind_listen(80, 4)
+        conn = net.connect(ip_of("127.0.0.1"), 80)
+        assert listener.wait_key in woken
+        conn.client.send(b"hi")
+        assert conn.server.wait_key in woken
+
+    def test_host_service_receives_and_replies(self):
+        net = Network()
+        collector = CollectorService(reply=b"ok")
+        net.register_service(ip_of("6.6.6.6"), 443, collector)
+        conn = net.connect(ip_of("6.6.6.6"), 443)
+        assert not isinstance(conn, int)
+        conn.client.send(b"stolen-credentials")
+        assert bytes(collector.received) == b"stolen-credentials"
+        assert conn.client.recv(100) == b"ok"
+        assert collector.connections == 1
+
+    def test_connections_logged(self):
+        net = Network()
+        net.connect(ip_of("9.9.9.9"), 1234)
+        assert (ip_of("9.9.9.9"), 1234) in net.connections_log

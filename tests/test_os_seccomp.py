@@ -1,0 +1,140 @@
+"""Unit tests for the seccomp-BPF interpreter and LitterBox filter builder."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.mpk import PKRU_ALLOW_ALL, make_pkru
+from repro.os import syscalls as sc
+from repro.os.seccomp import (
+    ArgRule,
+    BpfInsn,
+    BpfProgram,
+    LD_W_ABS,
+    RET_K,
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_KILL,
+    build_pkru_filter,
+    encode_seccomp_data,
+)
+
+
+def run_filter(program, nr, pkru, args=()):
+    ret, _ = program.run(encode_seccomp_data(nr, tuple(args), pkru))
+    return ret
+
+
+ENC_PKRU = make_pkru({0: "rw", 3: "rw"})
+
+
+@pytest.fixture
+def two_env_filter():
+    return build_pkru_filter({
+        PKRU_ALLOW_ALL: frozenset(sc.ALL_SYSCALLS),
+        ENC_PKRU: frozenset(sc.syscalls_for_categories({"net"})),
+    })
+
+
+class TestBpfInterpreter:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigError):
+            BpfProgram([])
+
+    def test_fall_off_end_rejected(self):
+        prog = BpfProgram([BpfInsn(LD_W_ABS, 0)])
+        with pytest.raises(ConfigError):
+            prog.run(encode_seccomp_data(0, (), 0))
+
+    def test_ret_constant(self):
+        prog = BpfProgram([BpfInsn(RET_K, k=SECCOMP_RET_ALLOW)])
+        ret, executed = prog.run(encode_seccomp_data(1, (), 0))
+        assert ret == SECCOMP_RET_ALLOW
+        assert executed == 1
+
+    def test_oob_load_kills(self):
+        prog = BpfProgram([BpfInsn(LD_W_ABS, 10_000),
+                           BpfInsn(RET_K, k=SECCOMP_RET_ALLOW)])
+        ret, _ = prog.run(encode_seccomp_data(1, (), 0))
+        assert ret == SECCOMP_RET_KILL
+
+
+class TestFilterBuilder:
+    def test_trusted_env_allows_everything(self, two_env_filter):
+        for nr in sorted(sc.ALL_SYSCALLS):
+            assert run_filter(two_env_filter, nr, PKRU_ALLOW_ALL) == \
+                SECCOMP_RET_ALLOW
+
+    def test_enclosure_env_net_only(self, two_env_filter):
+        assert run_filter(two_env_filter, sc.SYS_SOCKET, ENC_PKRU) == \
+            SECCOMP_RET_ALLOW
+        assert run_filter(two_env_filter, sc.SYS_CONNECT, ENC_PKRU) == \
+            SECCOMP_RET_ALLOW
+        assert run_filter(two_env_filter, sc.SYS_OPEN, ENC_PKRU) == \
+            SECCOMP_RET_KILL
+        assert run_filter(two_env_filter, sc.SYS_GETUID, ENC_PKRU) == \
+            SECCOMP_RET_KILL
+
+    def test_unknown_pkru_killed(self, two_env_filter):
+        assert run_filter(two_env_filter, sc.SYS_GETUID, 0xDEAD) == \
+            SECCOMP_RET_KILL
+
+    def test_empty_mask_env_kills_all(self):
+        prog = build_pkru_filter({
+            PKRU_ALLOW_ALL: frozenset(sc.ALL_SYSCALLS),
+            ENC_PKRU: frozenset(),
+        })
+        assert run_filter(prog, sc.SYS_GETUID, ENC_PKRU) == SECCOMP_RET_KILL
+
+    def test_arg_rule_restricts_connect_ips(self):
+        """The §6.5 extension: connect() only to pre-defined IPs."""
+        allowed_ip = 0x0A000001
+        prog = build_pkru_filter(
+            {
+                PKRU_ALLOW_ALL: frozenset(sc.ALL_SYSCALLS),
+                ENC_PKRU: frozenset(sc.syscalls_for_categories({"net"})),
+            },
+            arg_rules=[ArgRule(sc.SYS_CONNECT, 1, (allowed_ip,))],
+        )
+        good = run_filter(prog, sc.SYS_CONNECT, ENC_PKRU,
+                          args=(3, allowed_ip, 22))
+        bad = run_filter(prog, sc.SYS_CONNECT, ENC_PKRU,
+                         args=(3, 0x06060606, 443))
+        assert good == SECCOMP_RET_ALLOW
+        assert bad == SECCOMP_RET_KILL
+
+    def test_arg_rule_applies_per_env(self):
+        """The trusted env also passes through the arg rule when listed."""
+        prog = build_pkru_filter(
+            {PKRU_ALLOW_ALL: frozenset({sc.SYS_CONNECT})},
+            arg_rules=[ArgRule(sc.SYS_CONNECT, 1, (5,))],
+        )
+        assert run_filter(prog, sc.SYS_CONNECT, PKRU_ALLOW_ALL,
+                          args=(0, 5, 0)) == SECCOMP_RET_ALLOW
+        assert run_filter(prog, sc.SYS_CONNECT, PKRU_ALLOW_ALL,
+                          args=(0, 6, 0)) == SECCOMP_RET_KILL
+
+    def test_instruction_count_reasonable(self, two_env_filter):
+        """The evaluated path is tens of instructions, matching the
+        paper's ~136ns syscall filtering overhead on MPK."""
+        data = encode_seccomp_data(sc.SYS_SOCKET, (), ENC_PKRU)
+        _, executed = two_env_filter.run(data)
+        assert 5 < executed < 120
+
+
+class TestSyscallCategories:
+    def test_every_syscall_categorized_once(self):
+        seen = [nr for nrs in sc.CATEGORIES.values() for nr in nrs]
+        assert sorted(seen) == sorted(sc.ALL_SYSCALLS)
+
+    def test_category_expansion(self):
+        nrs = sc.syscalls_for_categories({"net"})
+        assert sc.SYS_SOCKET in nrs
+        assert sc.SYS_OPEN not in nrs
+
+    def test_unknown_category_rejected(self):
+        from repro.errors import PolicyError
+        with pytest.raises(PolicyError):
+            sc.syscalls_for_categories({"quantum"})
+
+    def test_syscall_names(self):
+        assert sc.syscall_name(sc.SYS_GETUID) == "getuid"
+        assert sc.syscall_name(9999) == "sys_9999"

@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Access,
+    DependenceGraph,
+    EnclosureSpec,
+    Environment,
+    PackageInfo,
+    cluster_packages,
+    compute_view,
+    make_trusted_environment,
+    parse_policy,
+)
+from repro.core.policy import Policy
+from repro.errors import PolicyError
+from repro.hw.mmu import wrap64
+from repro.hw.mpk import make_pkru, pkru_allows_read, pkru_allows_write
+from repro.hw.pages import PAGE_SIZE, Perm, Section, check_disjoint
+from repro.isa.instr import Instr
+from repro.isa.opcodes import Op
+from repro.os import syscalls as sc
+from repro.os.seccomp import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_KILL,
+    build_pkru_filter,
+    encode_seccomp_data,
+)
+
+pkg_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+accesses = st.sampled_from(list(Access))
+categories = st.sets(st.sampled_from(sorted(sc.ALL_CATEGORIES)), max_size=3)
+
+
+class TestPolicyProperties:
+    @given(st.dictionaries(pkg_names, accesses, max_size=4), categories)
+    def test_describe_parse_roundtrip(self, modifiers, cats):
+        policy = Policy(modifiers=modifiers, categories=frozenset(cats))
+        assert parse_policy(policy.describe()) == policy
+
+    @given(categories)
+    def test_syscall_numbers_match_categories(self, cats):
+        policy = parse_policy(" ".join(sorted(cats)) if cats else "none")
+        expected = {nr for cat in cats for nr in sc.CATEGORIES[cat]}
+        assert policy.syscall_numbers == frozenset(expected)
+
+    @given(accesses, accesses)
+    def test_includes_is_a_total_order(self, a, b):
+        assert a.includes(b) or b.includes(a)
+        if a.includes(b) and b.includes(a):
+            assert a is b
+
+
+class TestPkruProperties:
+    @given(st.dictionaries(st.integers(0, 15),
+                           st.sampled_from(["", "r", "rw"]), max_size=16))
+    def test_make_pkru_semantics(self, rights):
+        pkru = make_pkru(rights)
+        for key in range(16):
+            spec = rights.get(key)
+            if spec is None or spec == "":
+                assert not pkru_allows_read(pkru, key)
+                assert not pkru_allows_write(pkru, key)
+            elif spec == "r":
+                assert pkru_allows_read(pkru, key)
+                assert not pkru_allows_write(pkru, key)
+            else:
+                assert pkru_allows_read(pkru, key)
+                assert pkru_allows_write(pkru, key)
+
+    @given(st.integers(0, 15))
+    def test_write_implies_read(self, key):
+        pkru = make_pkru({key: "rw"})
+        if pkru_allows_write(pkru, key):
+            assert pkru_allows_read(pkru, key)
+
+
+class TestWrap64:
+    @given(st.integers())
+    def test_range(self, value):
+        wrapped = wrap64(value)
+        assert -(1 << 63) <= wrapped < (1 << 63)
+
+    @given(st.integers())
+    def test_idempotent_and_congruent(self, value):
+        wrapped = wrap64(value)
+        assert wrap64(wrapped) == wrapped
+        assert (wrapped - value) % (1 << 64) == 0
+
+
+class TestInstrEncoding:
+    @given(st.sampled_from(list(Op)),
+           st.integers(-(1 << 62), (1 << 62) - 1),
+           st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_roundtrip(self, op, imm1, imm2):
+        instr = Instr(op, imm1, imm2)
+        assert Instr.decode(instr.encode()) == instr
+
+
+class TestSectionProperties:
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 8)),
+                    max_size=6))
+    def test_disjoint_detection(self, raw):
+        sections = [
+            Section(f"s{i}", base * PAGE_SIZE, pages * PAGE_SIZE, Perm.RW)
+            for i, (base, pages) in enumerate(raw)
+        ]
+        overlapping = any(
+            a.overlaps(b)
+            for i, a in enumerate(sections)
+            for b in sections[i + 1:]
+        )
+        try:
+            check_disjoint(sections)
+            detected = False
+        except Exception:
+            detected = True
+        assert detected == overlapping
+
+
+def _graph_from(edges: dict[str, set[str]]) -> DependenceGraph:
+    graph = DependenceGraph()
+    for name, deps in edges.items():
+        graph.add(PackageInfo(name=name, imports=tuple(sorted(deps))))
+    graph.validate()
+    return graph
+
+
+@st.composite
+def dags(draw):
+    """Random acyclic import graphs (edges only to later names)."""
+    count = draw(st.integers(1, 7))
+    names = [f"p{i}" for i in range(count)]
+    edges = {}
+    for i, name in enumerate(names):
+        later = names[i + 1:]
+        edges[name] = set(draw(st.lists(
+            st.sampled_from(later), max_size=3, unique=True))) if later \
+            else set()
+    return _graph_from(edges)
+
+
+class TestGraphProperties:
+    @given(dags())
+    def test_natural_deps_transitive_closure(self, graph):
+        for pkg in graph.names():
+            deps = graph.natural_dependencies(pkg)
+            assert pkg not in deps
+            for dep in deps:
+                # Closure property: deps of deps are included.
+                assert graph.natural_dependencies(dep) <= deps
+
+    @given(dags())
+    def test_dependents_inverse(self, graph):
+        for pkg in graph.names():
+            for dependent in graph.dependents(pkg):
+                assert pkg in graph.natural_dependencies(dependent)
+
+
+@st.composite
+def environments(draw):
+    graph = draw(dags())
+    names = graph.names()
+    specs = []
+    count = draw(st.integers(0, 3))
+    for index in range(count):
+        owner = draw(st.sampled_from(names))
+        refs = tuple(draw(st.lists(st.sampled_from(names), max_size=2,
+                                   unique=True)))
+        name = f"e{index}"
+        graph.add(PackageInfo(name=f"encl.{name}", imports=refs))
+        specs.append(EnclosureSpec(id=index + 1, name=name, owner=owner,
+                                   refs=refs, policy=Policy()))
+    envs = [make_trusted_environment()]
+    for spec in specs:
+        envs.append(Environment(id=spec.id, name=spec.name,
+                                view=compute_view(graph, spec),
+                                syscalls=frozenset(), spec=spec))
+    return graph, envs
+
+
+class TestClusteringProperties:
+    @given(environments())
+    @settings(max_examples=50)
+    def test_partition(self, graph_envs):
+        graph, envs = graph_envs
+        clustering = cluster_packages(graph.names(), envs)
+        seen = [pkg for meta in clustering.metas for pkg in meta.packages]
+        assert sorted(seen) == sorted(graph.names())
+
+    @given(environments())
+    @settings(max_examples=50)
+    def test_same_meta_iff_same_rights_vector(self, graph_envs):
+        graph, envs = graph_envs
+        clustering = cluster_packages(graph.names(), envs)
+        enclosure_envs = [e for e in envs if not e.trusted]
+
+        def vector(pkg):
+            return tuple(env.access_to(pkg) for env in enclosure_envs)
+
+        for pkg_a in graph.names():
+            for pkg_b in graph.names():
+                same_meta = clustering.meta_of[pkg_a] == \
+                    clustering.meta_of[pkg_b]
+                assert same_meta == (vector(pkg_a) == vector(pkg_b))
+
+    @given(environments())
+    @settings(max_examples=30)
+    def test_meta_count_bounded_by_distinct_vectors(self, graph_envs):
+        graph, envs = graph_envs
+        clustering = cluster_packages(graph.names(), envs)
+        enclosure_envs = [e for e in envs if not e.trusted]
+        distinct = {tuple(env.access_to(p) for env in enclosure_envs)
+                    for p in graph.names()}
+        assert len(clustering) == len(distinct)
+
+
+class TestSeccompProperties:
+    @given(st.sets(st.sampled_from(sorted(sc.ALL_SYSCALLS)), max_size=10),
+           st.sampled_from(sorted(sc.ALL_SYSCALLS)))
+    @settings(max_examples=60)
+    def test_filter_decides_membership(self, allowed, nr):
+        env_pkru = make_pkru({0: "rw", 3: "rw"})
+        program = build_pkru_filter({
+            0: frozenset(sc.ALL_SYSCALLS),
+            env_pkru: frozenset(allowed),
+        })
+        ret, _ = program.run(encode_seccomp_data(nr, (), env_pkru))
+        expected = SECCOMP_RET_ALLOW if nr in allowed else SECCOMP_RET_KILL
+        assert ret == expected
+        # The trusted environment is never restricted.
+        ret, _ = program.run(encode_seccomp_data(nr, (), 0))
+        assert ret == SECCOMP_RET_ALLOW
+
+
+class TestViewProperties:
+    @given(environments())
+    @settings(max_examples=50)
+    def test_every_env_is_subset_of_trusted(self, graph_envs):
+        _, envs = graph_envs
+        trusted = envs[0]
+        for env in envs:
+            assert env.is_subset_of(trusted)
+
+    @given(environments())
+    @settings(max_examples=50)
+    def test_subset_is_reflexive_and_transitive(self, graph_envs):
+        _, envs = graph_envs
+        for a in envs:
+            assert a.is_subset_of(a)
+        for a in envs:
+            for b in envs:
+                for c in envs:
+                    if a.is_subset_of(b) and b.is_subset_of(c):
+                        assert a.is_subset_of(c)

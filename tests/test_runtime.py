@@ -1,0 +1,235 @@
+"""Unit tests for the language runtime: allocator, channels, scheduler."""
+
+import pytest
+
+from repro.errors import ConfigError, WouldBlock
+from repro.runtime.allocator import SPAN_SIZE, size_class_of
+from repro.runtime.channels import ChannelTable
+
+from tests.fig1 import build_image
+from repro.machine import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine():
+    return Machine(build_image(), MachineConfig(backend="mpk"))
+
+
+class TestSizeClasses:
+    def test_smallest_and_boundaries(self):
+        assert size_class_of(1) == 16
+        assert size_class_of(16) == 16
+        assert size_class_of(17) == 32
+        assert size_class_of(4096) == 4096
+
+    def test_large_objects(self):
+        assert size_class_of(4097) is None
+
+
+class TestAllocator:
+    def test_alignment_and_distinctness(self, machine):
+        addrs = [machine.allocator.alloc("libfx", 24) for _ in range(100)]
+        assert len(set(addrs)) == 100
+        assert all(a % 8 == 0 for a in addrs)
+
+    def test_same_class_shares_span(self, machine):
+        a = machine.allocator.alloc("libfx", 64)
+        b = machine.allocator.alloc("libfx", 64)
+        assert abs(b - a) == 64
+
+    def test_arena_ownership_recorded(self, machine):
+        machine.allocator.alloc("libfx", 64)
+        spans = machine.allocator.arena_spans("libfx")
+        assert spans and spans[0].owner == "libfx"
+        arenas = machine.litterbox.arena_of("libfx")
+        assert arenas and arenas[0].size == SPAN_SIZE
+
+    def test_packages_get_disjoint_spans(self, machine):
+        a = machine.allocator.alloc("libfx", 64)
+        b = machine.allocator.alloc("secrets", 64)
+        assert abs(a - b) >= SPAN_SIZE - 64
+
+    def test_large_allocation_gets_dedicated_run(self, machine):
+        addr = machine.allocator.alloc("libfx", 20_000)
+        assert addr % 8 == 0
+        # It must be usable end to end.
+        ctx = machine.litterbox.trusted_ctx
+        machine.mmu.write(ctx, addr + 19_000, b"tail", charge=False)
+
+    def test_recycle_and_cross_package_reuse(self, machine):
+        """Freed spans can be re-Transferred to another package (§4.2)."""
+        a = machine.allocator.alloc("libfx", 64)
+        count = machine.allocator.recycle_package("libfx")
+        assert count == 1
+        transfers_before = machine.clock.count("transfers")
+        b = machine.allocator.alloc("secrets", 64)
+        assert machine.clock.count("transfers") == transfers_before + 1
+        assert (b & ~(SPAN_SIZE - 1)) == (a & ~(SPAN_SIZE - 1))
+        # MPK: the span's pages now carry secrets' key.
+        key = machine.backend.key_for_package("secrets")
+        assert machine.host_table.lookup(b >> 12).pkey == key
+
+    def test_zero_size_rejected(self, machine):
+        with pytest.raises(ConfigError):
+            machine.allocator.alloc("libfx", 0)
+
+
+class TestChannels:
+    def wake_log(self):
+        woken = []
+        return ChannelTable(woken.append), woken
+
+    def test_fifo(self):
+        table, _ = self.wake_log()
+        ch = table.new(4)
+        table.send(ch, 1)
+        table.send(ch, 2)
+        assert table.recv(ch) == 1
+        assert table.recv(ch) == 2
+
+    def test_send_blocks_when_full(self):
+        table, _ = self.wake_log()
+        ch = table.new(1)
+        table.send(ch, 9)
+        with pytest.raises(WouldBlock):
+            table.send(ch, 10)
+
+    def test_recv_blocks_when_empty(self):
+        table, _ = self.wake_log()
+        ch = table.new(1)
+        with pytest.raises(WouldBlock):
+            table.recv(ch)
+
+    def test_wakeups(self):
+        table, woken = self.wake_log()
+        ch = table.new(1)
+        table.send(ch, 1)
+        assert ("chan_recv", ch) in woken
+        table.recv(ch)
+        assert ("chan_send", ch) in woken
+
+    def test_closed_semantics(self):
+        table, _ = self.wake_log()
+        ch = table.new(2)
+        table.send(ch, 7)
+        table.close(ch)
+        assert table.recv(ch) == 7
+        assert table.recv(ch) == 0  # zero value after drain
+        with pytest.raises(ConfigError):
+            table.send(ch, 1)
+
+    def test_bad_handle(self):
+        table, _ = self.wake_log()
+        with pytest.raises(ConfigError):
+            table.recv(999)
+
+
+class TestSchedulerBehaviour:
+    def test_goroutines_inherit_environment(self):
+        """`go` inside an enclosure stays in the enclosure (§5.1)."""
+        from tests.golite_helpers import run_golite
+        from repro.errors import SyscallFault
+        lib = """
+package lib
+
+func Spawn(ch chan int) {
+    go worker(ch)
+}
+
+func worker(ch chan int) {
+    ch <- syscall(102)
+}
+"""
+        main = """
+package main
+
+import "lib"
+
+func main() {
+    ch := make(chan int, 1)
+    f := with "none" func(c chan int) int {
+        lib.Spawn(c)
+        return <-c
+    }
+    println(f(ch))
+}
+"""
+        machine, result = run_golite(main, lib, backend="mpk")
+        # The spawned goroutine inherited the no-syscall environment,
+        # so getuid from it must fault — no escalation via `go`.
+        assert result.status == "faulted"
+        assert isinstance(machine.fault, SyscallFault)
+
+    def test_goroutine_inheritance_allows_valid_work(self):
+        from tests.golite_helpers import run_golite
+        lib = """
+package lib
+
+func Spawn(ch chan int) {
+    go worker(ch)
+}
+
+func worker(ch chan int) {
+    ch <- 41 + 1
+}
+"""
+        main = """
+package main
+
+import "lib"
+
+func main() {
+    ch := make(chan int, 1)
+    f := with "none" func(c chan int) int {
+        lib.Spawn(c)
+        return <-c
+    }
+    println(f(ch))
+}
+"""
+        machine, result = run_golite(main, lib, backend="mpk")
+        assert result.status == "exited"
+        assert machine.stdout == b"42\n"
+
+    def test_stack_pool_reuse(self):
+        """Exited goroutines donate their stacks back (Go-style)."""
+        from tests.golite_helpers import run_golite
+        main = """
+package main
+
+var done chan int
+
+func work(ch chan int) {
+    ch <- 1
+}
+
+func main() {
+    ch := make(chan int, 64)
+    total := 0
+    for i := 0; i < 40; i++ {
+        go work(ch)
+        total = total + <-ch
+    }
+    println(total)
+}
+"""
+        machine, result = run_golite(main, backend="baseline")
+        assert machine.stdout == b"40\n"
+        # 40 goroutines, but far fewer fresh stacks than 40.
+        pools = machine.litterbox._stack_pools
+        assert sum(len(v) for v in pools.values()) <= 4
+
+    def test_deadlock_reported_as_idle(self):
+        from tests.golite_helpers import run_golite
+        main = """
+package main
+
+func main() {
+    ch := make(chan int, 1)
+    x := <-ch
+    println(x)
+}
+"""
+        machine, result = run_golite(main)
+        assert result.status == "idle"
+        assert machine.scheduler.blocked_count() == 1

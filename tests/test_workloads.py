@@ -1,0 +1,165 @@
+"""Integration tests for the macrobenchmark workloads (§6.2/§6.3)."""
+
+import pytest
+
+from repro.workloads import corpus
+from repro.workloads.bild import build_bild_image, run_bild
+from repro.workloads.fasthttp import build_fasthttp_image, run_fasthttp_server
+from repro.workloads.httpserver import build_http_image, run_http_server
+from repro.workloads.wiki import run_wiki
+
+BACKENDS = ["baseline", "mpk", "vtx"]
+
+
+class TestCorpus:
+    def test_tree_shape(self):
+        sources = corpus.dependency_sources("t", 10)
+        assert len(sources) == 10
+        assert 'import' in sources[0]
+        assert "t1" in sources[0] and "t4" in sources[0]
+
+    def test_corpus_compiles_and_runs(self):
+        from tests.golite_helpers import run_golite
+        sources = corpus.dependency_sources("t", 6)
+        machine, result = run_golite(
+            'package main\nimport "t0"\nfunc main() { println(t0.Work(1)) }\n',
+            *sources)
+        assert result.status == "exited"
+        assert machine.stdout.strip().isdigit()
+
+
+class TestBild:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_runs_and_computes(self, backend):
+        machine = run_bild(backend, width=8, height=8, iterations=1)
+        # checksum of the inverted 8x8 ramp: sum(255 - (i % 256)).
+        expected = sum(255 - (i % 256) for i in range(64))
+        assert machine.read_global("main.result") == expected
+
+    def test_enclosure_isolates_image_writes(self):
+        """A mutated bild that writes the input must fault."""
+        from repro.workloads import bild as bild_mod
+        from repro.golite import compile_program
+        from repro.image.linker import link
+        from repro.machine import Machine, MachineConfig
+        evil = bild_mod.BILD_SOURCE.replace(
+            "out.pix[0] = out.pix[0] + seed - seed",
+            "img.pix[0] = 666 + seed - seed")
+        deps = corpus.dependency_sources("bdep", bild_mod.BILD_PUBLIC_DEPS)
+        sources = [evil, bild_mod.app_source(8, 8, 1)] + deps
+        image = link(compile_program(sources), entry="main.$start")
+        machine = Machine(image, MachineConfig(backend="mpk"))
+        result = machine.run()
+        assert result.status == "faulted"
+
+    def test_transfers_happen(self):
+        machine = run_bild("mpk", width=16, height=16, iterations=2)
+        assert machine.clock.count("transfers") > 3
+
+    def test_tcb_metadata(self):
+        image = build_bild_image(8, 8, 1)
+        enclosed = [p for p in image.graph
+                    if p.name.startswith("bdep") or p.name == "bild"]
+        assert sum(p.loc for p in enclosed) > 150_000
+        assert image.graph.get("main").loc == 32
+
+
+class TestHttp:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_serves_requests(self, backend):
+        driver = run_http_server(backend)
+        response = driver.request("/index.html")
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        header, _, body = response.partition(b"\r\n\r\n")
+        assert len(body) > 13_000
+        assert b"Content-Length" in header
+
+    def test_multiple_requests(self):
+        driver = run_http_server("baseline")
+        for _ in range(5):
+            assert driver.request().startswith(b"HTTP/1.1 200 OK")
+        assert driver.machine.read_global("http.served") == 5
+
+    def test_handler_enclosed_with_two_switches_per_request(self):
+        driver = run_http_server("mpk")
+        before = driver.machine.clock.count("switches")
+        driver.request()
+        assert driver.machine.clock.count("switches") - before == 2
+
+    def test_slowdown_shape(self):
+        """Table 2 HTTP row: MPK near baseline, VTX ~1.8x."""
+        rates = {}
+        for backend in BACKENDS:
+            rates[backend] = run_http_server(backend).throughput(10)
+        assert 1.0 <= rates["baseline"] / rates["mpk"] < 1.3
+        assert 1.4 < rates["baseline"] / rates["vtx"] < 2.6
+
+
+class TestFastHttp:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_serves_requests(self, backend):
+        driver = run_fasthttp_server(backend)
+        response = driver.request("/fast")
+        assert response.startswith(b"HTTP/1.1 200 OK")
+
+    def test_server_is_enclosed_but_functional(self):
+        driver = run_fasthttp_server("vtx")
+        for _ in range(3):
+            assert driver.request().startswith(b"HTTP/1.1 200 OK")
+
+    def test_faster_than_http_baseline(self):
+        """fasthttp's reuse gives it more throughput, as in Table 2."""
+        http = run_http_server("baseline").throughput(10)
+        fast = run_fasthttp_server("baseline").throughput(10)
+        assert fast > http
+
+    def test_vtx_slowdown_exceeds_http(self):
+        """Paper: FastHTTP's VTX slowdown (2.01x) tops HTTP's (1.77x)
+        because the service time is smaller, not the syscall count."""
+        ratios = {}
+        for workload, runner in (("http", run_http_server),
+                                 ("fast", run_fasthttp_server)):
+            base = runner("baseline").throughput(10)
+            vtx = runner("vtx").throughput(10)
+            ratios[workload] = base / vtx
+        assert ratios["fast"] > ratios["http"]
+
+    def test_dependency_count(self):
+        image = build_fasthttp_image()
+        deps = [p for p in image.graph if p.name.startswith("fdep")]
+        assert len(deps) == 100
+
+
+class TestWiki:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_view_roundtrip(self, backend):
+        driver, postgres = run_wiki(backend)
+        response = driver.view("home")
+        assert b"welcome to the wiki" in response
+        assert b"WIKI" in response  # rendered with the trusted template
+
+    def test_save_then_view(self):
+        driver, postgres = run_wiki("mpk")
+        driver.save("cats", "all about cats")
+        assert postgres.tables["cats"] == "all about cats"
+        assert b"all about cats" in driver.view("cats")
+
+    def test_missing_page(self):
+        driver, _ = run_wiki("baseline")
+        assert b"NIL" in driver.view("ghost")
+
+    def test_queries_reach_postgres_only_via_proxy(self):
+        driver, postgres = run_wiki("vtx")
+        driver.view("home")
+        assert postgres.queries == ["GET home"]
+
+    def test_db_password_stays_private(self):
+        """The server enclosure's view must not include main (which
+        holds the password and templates)."""
+        driver, _ = run_wiki("mpk")
+        image = driver.machine.image
+        server_spec = next(s for s in image.enclosures
+                           if "mux" in s.refs)
+        env = driver.machine.litterbox.env(server_spec.id)
+        assert env.access_to("main").name == "U"
+        assert env.access_to("shared").name == "R"
