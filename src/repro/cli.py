@@ -40,6 +40,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         for counter in ("switches", "transfers", "syscalls", "vm_exits"):
             print(f"--   {counter}: {clock.count(counter)}",
                   file=sys.stderr)
+        print("-- interpreter perf counters (wall-clock observability):",
+              file=sys.stderr)
+        for line in machine.perf.describe():
+            print(f"--   {line}", file=sys.stderr)
     return 0 if result.status in ("exited", "halted", "idle") else 1
 
 

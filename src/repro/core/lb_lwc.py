@@ -103,6 +103,9 @@ class LWCBackend(Backend):
         clock.charge(COSTS.HOST_SYSCALL + COSTS.VERIF_VTX + COSTS.CR3_WRITE)
         table = env.table if env.table is not None else self.trusted_table
         cpu.ctx.page_table = table
+        # Installing a context root is a CR3 write: flush the TLB (the
+        # CR3_WRITE charge above already accounts the simulated cost).
+        self.litterbox.mmu.flush_tlb(cpu.ctx)
         self._current_env = env
 
     # --------------------------------------------------------------- transfer

@@ -141,6 +141,9 @@ class VTXBackend(Backend):
         table = env.table if env.table is not None else self.trusted_table
         self.vm.write_cr3(table)
         cpu.ctx.page_table = table
+        # A CR3 write flushes the TLB (no PCID in this model); the
+        # simulated cost is already inside write_cr3's CR3_WRITE charge.
+        self.litterbox.mmu.flush_tlb(cpu.ctx)
         self._current_env = env
 
     # --------------------------------------------------------------- transfer

@@ -214,11 +214,15 @@ class LitterBox:
         self._init_frame(stack.base)
         return stack
 
+    _ZERO_FRAME = bytes(16)
+
     def _init_frame(self, base: int) -> None:
         if self.trusted_ctx is None:
             raise ConfigError("LitterBox has no trusted context wired")
-        self.mmu.write_word(self.trusted_ctx, base, 0, charge=False)
-        self.mmu.write_word(self.trusted_ctx, base + 8, 0, charge=False)
+        # One 16-byte store (stacks are page-aligned, so the root frame's
+        # saved-fp/saved-pc pair never spans pages): a single translation
+        # instead of two.
+        self.mmu.write(self.trusted_ctx, base, self._ZERO_FRAME, charge=False)
 
     # ------------------------------------------------------------ accounting
 

@@ -44,6 +44,11 @@ class PageTable:
         self.id = PageTable._next_id
         self.name = name or f"pt{self.id}"
         self._entries: dict[int, PTE] = {}
+        #: Generation counter, bumped on every mutation.  The MMU's
+        #: software TLB tags cached translations with the generation of
+        #: the table they came from; any map/unmap/protect edit makes
+        #: those entries stale without an explicit shootdown.
+        self.gen = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,6 +62,7 @@ class PageTable:
 
     def map_page(self, vpn: int, pte: PTE) -> None:
         self._entries[vpn] = pte
+        self.gen += 1
 
     def map_range(self, base: int, size: int, pfns: list[int], perms: Perm,
                   pkey: int = 0, user: bool = True, present: bool = True) -> None:
@@ -70,6 +76,7 @@ class PageTable:
 
     def unmap_page(self, vpn: int) -> None:
         self._entries.pop(vpn, None)
+        self.gen += 1
 
     def unmap_range(self, base: int, size: int) -> None:
         for vpn in pages_spanned(base, size):
@@ -88,6 +95,8 @@ class PageTable:
                 raise ConfigError(f"update of unmapped page vpn={vpn:#x}")
             self._entries[vpn] = replace(pte, **changes)
             updated += 1
+        if updated:
+            self.gen += 1
         return updated
 
     def protect_range(self, base: int, size: int, perms: Perm) -> int:

@@ -4,6 +4,19 @@ Each executed instruction charges simulated time; loads, stores, and
 instruction fetches are permission-checked by the MMU against the
 CPU's current translation context, which is what makes enclosure
 memory views enforceable against arbitrary compiled code.
+
+Fast paths (wall-clock only; simulated costs are unchanged):
+
+* **fetch** — instead of a full MMU walk per instruction, the
+  interpreter caches the exec-validity of the current code page as a
+  tag ``(vpn, ctx, table, table_gen, ept, ept_gen)`` and revalidates it
+  with cheap identity/int comparisons each step.  Any page-table edit
+  (generation bump), context switch, or CR3 write makes the tag stale
+  and forces a checked fetch, so enforcement is identical to walking.
+* **dispatch** — opcodes index a handler table (built once per
+  interpreter) instead of walking a long ``if``/``elif`` chain, and the
+  binary ALU ops index :data:`_ALU_FUNCS` instead of re-deciding which
+  operator applies on every instruction.
 """
 
 from __future__ import annotations
@@ -12,8 +25,9 @@ from repro.errors import Fault, MachineHalt, SimError, WouldBlock
 from repro.hw.clock import COSTS, SimClock
 from repro.hw.cpu import CPU
 from repro.hw.mmu import MMU, wrap64
+from repro.hw.pages import PAGE_SHIFT
 from repro.isa.instr import Instr
-from repro.isa.opcodes import INSTR_SIZE, Op
+from repro.isa.opcodes import INSTR_SIZE, NUM_OPCODES, Op
 
 
 class GoroutineExit(SimError):
@@ -29,9 +43,14 @@ class Interpreter:
     def __init__(self, mmu: MMU, clock: SimClock):
         self.mmu = mmu
         self.clock = clock
+        self.perf = mmu.perf
         #: vaddr -> decoded instruction, filled by the loader.  Text pages
         #: are never writable, so the cache cannot go stale.
         self.code: dict[int, Instr] = {}
+        #: Exec-validity tag of the most recently fetched code page;
+        #: ``None`` forces the next fetch through the MMU.
+        self._exec_tag: tuple | None = None
+        self._dispatch = _build_dispatch()
 
     def register_code(self, base: int, instrs: list[Instr]) -> None:
         for offset, instr in enumerate(instrs):
@@ -40,6 +59,7 @@ class Interpreter:
     # -- single step -------------------------------------------------------
 
     def fetch(self, cpu: CPU) -> Instr:
+        """Checked fetch (reference path; ``step`` inlines the fast one)."""
         self.mmu.check_exec(cpu.ctx, cpu.pc)
         instr = self.code.get(cpu.pc)
         if instr is None:
@@ -55,123 +75,26 @@ class Interpreter:
         :class:`GoroutineExit`, :class:`MachineHalt`, or a
         :class:`Fault`.
         """
-        instr = self.fetch(cpu)
+        pc = cpu.pc
+        ctx = cpu.ctx
+        tag = self._exec_tag
+        if tag is None or tag[0] != pc >> PAGE_SHIFT or tag[1] is not ctx \
+                or tag[2] is not ctx.page_table or tag[3] != tag[2].gen \
+                or tag[4] is not ctx.ept \
+                or (tag[4] is not None and tag[5] != tag[4].gen):
+            self.perf.fetch_slow += 1
+            self._exec_tag = self.mmu.exec_tag(ctx, pc)
+        instr = self.code.get(pc)
+        if instr is None:
+            raw = self.mmu.read(ctx, pc, INSTR_SIZE, charge=False)
+            instr = Instr.decode(raw)
+            self.code[pc] = instr
         op = instr.op
-        imm1 = instr.imm1
-        imm2 = instr.imm2
-        clock = cpu.clock
-        next_pc = cpu.pc + INSTR_SIZE
-
-        if op == Op.PUSH:
-            clock.charge(COSTS.INSN)
-            cpu.push(imm1)
-        elif op == Op.LOADL:
-            cpu.push(self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * imm1))
-        elif op == Op.STOREL:
-            self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * imm1, cpu.pop())
-        elif op == Op.ADDRL:
-            clock.charge(COSTS.INSN)
-            cpu.push(cpu.fp + 16 + 8 * imm1)
-        elif op == Op.LOAD:
-            cpu.push(self.mmu.read_word(cpu.ctx, cpu.pop()))
-        elif op == Op.STORE:
-            value = cpu.pop()
-            addr = cpu.pop()
-            self.mmu.write_word(cpu.ctx, addr, value)
-        elif op == Op.LOAD1:
-            cpu.push(self.mmu.read_byte(cpu.ctx, cpu.pop()))
-        elif op == Op.STORE1:
-            value = cpu.pop()
-            addr = cpu.pop()
-            self.mmu.write_byte(cpu.ctx, addr, value)
-        elif op == Op.MEMCPY:
-            n = cpu.pop()
-            src = cpu.pop()
-            dst = cpu.pop()
-            if n < 0:
-                raise Fault("arith", "negative MEMCPY length")
-            self.mmu.memcpy(cpu.ctx, dst, src, n)
-        elif Op.ADD <= op <= Op.GE and op != Op.NEG and op != Op.NOT:
-            clock.charge(COSTS.INSN)
-            b = cpu.pop()
-            a = cpu.pop()
-            cpu.push(_binop(op, a, b))
-        elif op == Op.NEG:
-            clock.charge(COSTS.INSN)
-            cpu.push(wrap64(-cpu.pop()))
-        elif op == Op.NOT:
-            clock.charge(COSTS.INSN)
-            cpu.push(1 if cpu.pop() == 0 else 0)
-        elif op == Op.DROP:
-            clock.charge(COSTS.INSN)
-            cpu.pop()
-        elif op == Op.DUP:
-            clock.charge(COSTS.INSN)
-            cpu.push(cpu.peek())
-        elif op == Op.SWAP:
-            clock.charge(COSTS.INSN)
-            b = cpu.pop()
-            a = cpu.pop()
-            cpu.push(b)
-            cpu.push(a)
-        elif op == Op.JMP:
-            clock.charge(COSTS.INSN_BRANCH)
-            next_pc = imm1
-        elif op == Op.JZ:
-            clock.charge(COSTS.INSN_BRANCH)
-            if cpu.pop() == 0:
-                next_pc = imm1
-        elif op == Op.JNZ:
-            clock.charge(COSTS.INSN_BRANCH)
-            if cpu.pop() != 0:
-                next_pc = imm1
-        elif op == Op.CALL:
-            self._do_call(cpu, imm1, next_pc)
-            next_pc = imm1
-        elif op == Op.CALLCLO:
-            clo = cpu.pop()
-            code_addr = self.mmu.read_word(cpu.ctx, clo)
-            cpu.push(clo)  # hidden environment argument
-            self._do_call(cpu, code_addr, next_pc)
-            next_pc = code_addr
-        elif op == Op.RET:
-            clock.charge(COSTS.INSN_CALL)
-            ret_pc = self.mmu.read_word(cpu.ctx, cpu.fp + 8)
-            saved_fp = self.mmu.read_word(cpu.ctx, cpu.fp)
-            cpu.sp = cpu.fp
-            cpu.fp = saved_fp
-            if ret_pc == 0:
-                raise GoroutineExit()
-            next_pc = ret_pc
-        elif op == Op.ENTER:
-            clock.charge(COSTS.INSN)
-            nargs, nlocals = imm1, imm2
-            new_sp = cpu.fp + 16 + 8 * nlocals
-            cpu.check_stack(new_sp)
-            cpu.sp = new_sp
-            values = cpu.popn(nargs)
-            for slot, value in enumerate(values):
-                self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * slot, value,
-                                    charge=False)
-            clock.charge(COSTS.INSN_MEM * nargs)
-        elif op == Op.SYSCALL:
-            self._guarded(cpu, self._do_syscall, imm1)
-        elif op == Op.RTCALL:
-            self._guarded(cpu, self._do_rtcall, imm1, imm2)
-        elif op == Op.LBCALL:
-            self._guarded(cpu, self._do_lbcall, imm1, imm2)
-        elif op == Op.WRPKRU:
-            cpu.write_pkru(cpu.pop())
-        elif op == Op.RDPKRU:
-            cpu.push(cpu.read_pkru())
-        elif op == Op.NOP:
-            clock.charge(COSTS.INSN)
-        elif op == Op.HALT:
-            raise MachineHalt(cpu.pop())
-        else:  # pragma: no cover
-            raise Fault("exec", f"unknown opcode {op!r} at {cpu.pc:#x}")
-
-        cpu.pc = next_pc
+        self.perf.op_counts[op] += 1
+        handler = self._dispatch[op]
+        if handler is None:  # pragma: no cover
+            raise Fault("exec", f"unknown opcode {op!r} at {pc:#x}")
+        handler(self, cpu, instr)
 
     # -- helpers -------------------------------------------------------------
 
@@ -214,6 +137,162 @@ class Interpreter:
         args = tuple(cpu.popn(nargs))
         cpu.push(wrap64(cpu.lbcall_handler(cpu, hook, args)))
 
+    # -- opcode handlers ------------------------------------------------------
+    # Each handler performs the instruction's effects and only then
+    # advances ``cpu.pc``, so a fault or WouldBlock raised mid-handler
+    # leaves the instruction retriable (same contract as before the
+    # table-dispatch refactor).
+
+    def _op_push(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        cpu.push(instr.imm1)
+        cpu.pc += INSTR_SIZE
+
+    def _op_loadl(self, cpu: CPU, instr: Instr) -> None:
+        cpu.push(self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * instr.imm1))
+        cpu.pc += INSTR_SIZE
+
+    def _op_storel(self, cpu: CPU, instr: Instr) -> None:
+        self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * instr.imm1, cpu.pop())
+        cpu.pc += INSTR_SIZE
+
+    def _op_addrl(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        cpu.push(cpu.fp + 16 + 8 * instr.imm1)
+        cpu.pc += INSTR_SIZE
+
+    def _op_load(self, cpu: CPU, instr: Instr) -> None:
+        cpu.push(self.mmu.read_word(cpu.ctx, cpu.pop()))
+        cpu.pc += INSTR_SIZE
+
+    def _op_store(self, cpu: CPU, instr: Instr) -> None:
+        value = cpu.pop()
+        addr = cpu.pop()
+        self.mmu.write_word(cpu.ctx, addr, value)
+        cpu.pc += INSTR_SIZE
+
+    def _op_load1(self, cpu: CPU, instr: Instr) -> None:
+        cpu.push(self.mmu.read_byte(cpu.ctx, cpu.pop()))
+        cpu.pc += INSTR_SIZE
+
+    def _op_store1(self, cpu: CPU, instr: Instr) -> None:
+        value = cpu.pop()
+        addr = cpu.pop()
+        self.mmu.write_byte(cpu.ctx, addr, value)
+        cpu.pc += INSTR_SIZE
+
+    def _op_memcpy(self, cpu: CPU, instr: Instr) -> None:
+        n = cpu.pop()
+        src = cpu.pop()
+        dst = cpu.pop()
+        if n < 0:
+            raise Fault("arith", "negative MEMCPY length")
+        self.mmu.memcpy(cpu.ctx, dst, src, n)
+        cpu.pc += INSTR_SIZE
+
+    def _op_neg(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        cpu.push(wrap64(-cpu.pop()))
+        cpu.pc += INSTR_SIZE
+
+    def _op_not(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        cpu.push(1 if cpu.pop() == 0 else 0)
+        cpu.pc += INSTR_SIZE
+
+    def _op_drop(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        cpu.pop()
+        cpu.pc += INSTR_SIZE
+
+    def _op_dup(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        cpu.push(cpu.peek())
+        cpu.pc += INSTR_SIZE
+
+    def _op_swap(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        b = cpu.pop()
+        a = cpu.pop()
+        cpu.push(b)
+        cpu.push(a)
+        cpu.pc += INSTR_SIZE
+
+    def _op_jmp(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN_BRANCH
+        cpu.pc = instr.imm1
+
+    def _op_jz(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN_BRANCH
+        cpu.pc = instr.imm1 if cpu.pop() == 0 else cpu.pc + INSTR_SIZE
+
+    def _op_jnz(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN_BRANCH
+        cpu.pc = instr.imm1 if cpu.pop() != 0 else cpu.pc + INSTR_SIZE
+
+    def _op_call(self, cpu: CPU, instr: Instr) -> None:
+        target = instr.imm1
+        self._do_call(cpu, target, cpu.pc + INSTR_SIZE)
+        cpu.pc = target
+
+    def _op_callclo(self, cpu: CPU, instr: Instr) -> None:
+        clo = cpu.pop()
+        code_addr = self.mmu.read_word(cpu.ctx, clo)
+        cpu.push(clo)  # hidden environment argument
+        self._do_call(cpu, code_addr, cpu.pc + INSTR_SIZE)
+        cpu.pc = code_addr
+
+    def _op_ret(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.charge(COSTS.INSN_CALL)
+        ret_pc = self.mmu.read_word(cpu.ctx, cpu.fp + 8)
+        saved_fp = self.mmu.read_word(cpu.ctx, cpu.fp)
+        cpu.sp = cpu.fp
+        cpu.fp = saved_fp
+        if ret_pc == 0:
+            raise GoroutineExit()
+        cpu.pc = ret_pc
+
+    def _op_enter(self, cpu: CPU, instr: Instr) -> None:
+        clock = cpu.clock
+        clock.charge(COSTS.INSN)
+        nargs, nlocals = instr.imm1, instr.imm2
+        new_sp = cpu.fp + 16 + 8 * nlocals
+        cpu.check_stack(new_sp)
+        cpu.sp = new_sp
+        values = cpu.popn(nargs)
+        for slot, value in enumerate(values):
+            self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * slot, value,
+                                charge=False)
+        clock.charge(COSTS.INSN_MEM * nargs)
+        cpu.pc += INSTR_SIZE
+
+    def _op_syscall(self, cpu: CPU, instr: Instr) -> None:
+        self._guarded(cpu, self._do_syscall, instr.imm1)
+        cpu.pc += INSTR_SIZE
+
+    def _op_rtcall(self, cpu: CPU, instr: Instr) -> None:
+        self._guarded(cpu, self._do_rtcall, instr.imm1, instr.imm2)
+        cpu.pc += INSTR_SIZE
+
+    def _op_lbcall(self, cpu: CPU, instr: Instr) -> None:
+        self._guarded(cpu, self._do_lbcall, instr.imm1, instr.imm2)
+        cpu.pc += INSTR_SIZE
+
+    def _op_wrpkru(self, cpu: CPU, instr: Instr) -> None:
+        cpu.write_pkru(cpu.pop())
+        cpu.pc += INSTR_SIZE
+
+    def _op_rdpkru(self, cpu: CPU, instr: Instr) -> None:
+        cpu.push(cpu.read_pkru())
+        cpu.pc += INSTR_SIZE
+
+    def _op_nop(self, cpu: CPU, instr: Instr) -> None:
+        cpu.clock.now_ns += COSTS.INSN
+        cpu.pc += INSTR_SIZE
+
+    def _op_halt(self, cpu: CPU, instr: Instr) -> None:
+        raise MachineHalt(cpu.pop())
+
     # -- driving --------------------------------------------------------------
 
     def run(self, cpu: CPU, max_steps: int = 50_000_000) -> int:
@@ -245,41 +324,126 @@ def _trunc_div(a: int, b: int) -> int:
     return quotient
 
 
+def _alu_add(a: int, b: int) -> int:
+    return wrap64(a + b)
+
+
+def _alu_sub(a: int, b: int) -> int:
+    return wrap64(a - b)
+
+
+def _alu_mul(a: int, b: int) -> int:
+    return wrap64(a * b)
+
+
+def _alu_div(a: int, b: int) -> int:
+    if b == 0:
+        raise Fault("arith", "integer divide by zero")
+    return wrap64(_trunc_div(a, b))
+
+
+def _alu_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise Fault("arith", "integer modulo by zero")
+    return wrap64(a - _trunc_div(a, b) * b)
+
+
+def _alu_and(a: int, b: int) -> int:
+    return wrap64(a & b)
+
+
+def _alu_or(a: int, b: int) -> int:
+    return wrap64(a | b)
+
+
+def _alu_xor(a: int, b: int) -> int:
+    return wrap64(a ^ b)
+
+
+def _alu_shl(a: int, b: int) -> int:
+    return wrap64(a << (b & 63))
+
+
+def _alu_shr(a: int, b: int) -> int:
+    return wrap64((a & _U64) >> (b & 63))
+
+
+#: Binary ALU semantics, indexed by opcode (comparisons inline the 0/1
+#: encoding; dict instead of if/elif so dispatch is one lookup).
+_ALU_FUNCS: dict[int, object] = {
+    Op.ADD: _alu_add,
+    Op.SUB: _alu_sub,
+    Op.MUL: _alu_mul,
+    Op.DIV: _alu_div,
+    Op.MOD: _alu_mod,
+    Op.AND: _alu_and,
+    Op.OR: _alu_or,
+    Op.XOR: _alu_xor,
+    Op.SHL: _alu_shl,
+    Op.SHR: _alu_shr,
+    Op.EQ: lambda a, b: 1 if a == b else 0,
+    Op.NE: lambda a, b: 1 if a != b else 0,
+    Op.LT: lambda a, b: 1 if a < b else 0,
+    Op.LE: lambda a, b: 1 if a <= b else 0,
+    Op.GT: lambda a, b: 1 if a > b else 0,
+    Op.GE: lambda a, b: 1 if a >= b else 0,
+}
+
+
 def _binop(op: Op, a: int, b: int) -> int:
-    if op == Op.ADD:
-        return wrap64(a + b)
-    if op == Op.SUB:
-        return wrap64(a - b)
-    if op == Op.MUL:
-        return wrap64(a * b)
-    if op == Op.DIV:
-        if b == 0:
-            raise Fault("arith", "integer divide by zero")
-        return wrap64(_trunc_div(a, b))
-    if op == Op.MOD:
-        if b == 0:
-            raise Fault("arith", "integer modulo by zero")
-        return wrap64(a - _trunc_div(a, b) * b)
-    if op == Op.AND:
-        return wrap64(a & b)
-    if op == Op.OR:
-        return wrap64(a | b)
-    if op == Op.XOR:
-        return wrap64(a ^ b)
-    if op == Op.SHL:
-        return wrap64(a << (b & 63))
-    if op == Op.SHR:
-        return wrap64((a & _U64) >> (b & 63))
-    if op == Op.EQ:
-        return 1 if a == b else 0
-    if op == Op.NE:
-        return 1 if a != b else 0
-    if op == Op.LT:
-        return 1 if a < b else 0
-    if op == Op.LE:
-        return 1 if a <= b else 0
-    if op == Op.GT:
-        return 1 if a > b else 0
-    if op == Op.GE:
-        return 1 if a >= b else 0
-    raise Fault("exec", f"not a binary op: {op!r}")  # pragma: no cover
+    """Apply one binary ALU operation (table-driven)."""
+    fn = _ALU_FUNCS.get(op)
+    if fn is None:
+        raise Fault("exec", f"not a binary op: {op!r}")  # pragma: no cover
+    return fn(a, b)
+
+
+def _make_alu_handler(fn):
+    def handler(self, cpu, instr):
+        cpu.clock.now_ns += COSTS.INSN
+        b = cpu.pop()
+        a = cpu.pop()
+        cpu.push(fn(a, b))
+        cpu.pc += INSTR_SIZE
+    return handler
+
+
+def _build_dispatch() -> list:
+    """Opcode -> handler table (shared shape; built per interpreter so
+    handlers stay plain functions called as ``handler(self, cpu, instr)``)."""
+    table: list = [None] * NUM_OPCODES
+    named = {
+        Op.NOP: Interpreter._op_nop,
+        Op.HALT: Interpreter._op_halt,
+        Op.PUSH: Interpreter._op_push,
+        Op.DROP: Interpreter._op_drop,
+        Op.DUP: Interpreter._op_dup,
+        Op.SWAP: Interpreter._op_swap,
+        Op.LOADL: Interpreter._op_loadl,
+        Op.STOREL: Interpreter._op_storel,
+        Op.ADDRL: Interpreter._op_addrl,
+        Op.LOAD: Interpreter._op_load,
+        Op.STORE: Interpreter._op_store,
+        Op.LOAD1: Interpreter._op_load1,
+        Op.STORE1: Interpreter._op_store1,
+        Op.MEMCPY: Interpreter._op_memcpy,
+        Op.NEG: Interpreter._op_neg,
+        Op.NOT: Interpreter._op_not,
+        Op.JMP: Interpreter._op_jmp,
+        Op.JZ: Interpreter._op_jz,
+        Op.JNZ: Interpreter._op_jnz,
+        Op.CALL: Interpreter._op_call,
+        Op.CALLCLO: Interpreter._op_callclo,
+        Op.RET: Interpreter._op_ret,
+        Op.ENTER: Interpreter._op_enter,
+        Op.SYSCALL: Interpreter._op_syscall,
+        Op.RTCALL: Interpreter._op_rtcall,
+        Op.LBCALL: Interpreter._op_lbcall,
+        Op.WRPKRU: Interpreter._op_wrpkru,
+        Op.RDPKRU: Interpreter._op_rdpkru,
+    }
+    for op, handler in named.items():
+        table[op] = handler
+    for op, fn in _ALU_FUNCS.items():
+        table[op] = _make_alu_handler(fn)
+    return table

@@ -77,6 +77,11 @@ class Op(enum.IntEnum):
     RDPKRU = 71       # push value
 
 
+#: One past the highest opcode value; sizes the interpreter's dispatch
+#: table and the per-opcode perf counters.
+NUM_OPCODES = max(Op) + 1
+
+
 #: LitterBox hook ids for the LBCALL instruction (mirrors the API, §4.2).
 class Hook(enum.IntEnum):
     PROLOG = 0

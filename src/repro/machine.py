@@ -29,6 +29,7 @@ from repro.hw.pagetable import PageTable
 from repro.hw.physmem import PhysicalMemory
 from repro.image.elf import ElfImage
 from repro.isa.interp import Interpreter
+from repro.perf import PerfStats
 from repro.isa.opcodes import Hook
 from repro.os.kernel import Kernel
 from repro.os.kvm import KVMDevice
@@ -56,8 +57,11 @@ class Machine:
         self.config = config
         self.image = image
         self.clock = SimClock()
+        #: Wall-clock observability counters (TLB, fetch, opcodes);
+        #: shared by the MMU and interpreter, independent of SimClock.
+        self.perf = PerfStats()
         self.physmem = PhysicalMemory()
-        self.mmu = MMU(self.physmem, self.clock)
+        self.mmu = MMU(self.physmem, self.clock, perf=self.perf)
         self.kernel = Kernel(self.physmem, self.mmu, self.clock)
         self.host_table = PageTable("host")
         self.kernel.host_table = self.host_table
@@ -81,8 +85,11 @@ class Machine:
         self.litterbox.init(image)
         if config.backend == "vtx":
             vtx: VTXBackend = backend
+            # Entering guest mode installs a new CR3 and the EPT: any
+            # translations cached during loading are flushed.
             self.cpu.ctx.page_table = vtx.trusted_table
             self.cpu.ctx.ept = vtx.vm.vmcs.ept
+            self.mmu.flush_tlb(self.cpu.ctx)
 
         # Runtime services.
         self.pkg_names = sorted(image.graph.names())

@@ -65,6 +65,10 @@ class Kernel:
         #: Signature: (base, size, pfns) -> None.
         self.mmap_hook: Callable[[int, int, list[int]], None] | None = None
         self._fds: dict[int, object] = {}
+        #: Cached copy_from_user context (same table/EPT as the caller,
+        #: kernel privilege, no PKRU); reused so its software TLB stays
+        #: warm across system calls instead of starting cold each entry.
+        self._kctx_cache: TranslationContext | None = None
         self._next_fd = 3
         self._mmap_cursor = MMAP_BASE
         self._mappings: dict[int, int] = {}  # base -> size
@@ -143,13 +147,18 @@ class Kernel:
         kctx = self._kernel_ctx(ctx)
         return handler(kctx, args)
 
-    @staticmethod
-    def _kernel_ctx(ctx: TranslationContext | None) -> TranslationContext | None:
+    def _kernel_ctx(self, ctx: TranslationContext | None) -> TranslationContext | None:
         """The kernel's copy path uses the user page table sans PKRU."""
         if ctx is None:
             return None
-        return TranslationContext(page_table=ctx.page_table, pkru=None,
-                                  ept=ctx.ept, user=True)
+        cached = self._kctx_cache
+        if cached is not None and cached.page_table is ctx.page_table \
+                and cached.ept is ctx.ept:
+            return cached
+        cached = TranslationContext(page_table=ctx.page_table, pkru=None,
+                                    ept=ctx.ept, user=True)
+        self._kctx_cache = cached
+        return cached
 
     # -- user memory helpers -------------------------------------------------
 

@@ -1,0 +1,105 @@
+"""Interpreter performance counters (wall-clock observability).
+
+:class:`PerfStats` counts what the *simulator's* hot path does — TLB
+hits/misses/flushes, fetch fast-path behaviour, per-opcode dispatch
+frequencies.  These are observability counters for the interpreter
+itself; they are deliberately disjoint from :class:`~repro.hw.clock.
+SimClock`, whose simulated-nanosecond accounting is part of the
+reproduction's cost model and must not change when the interpreter gets
+faster.
+
+One instance is shared per :class:`~repro.machine.Machine` by the MMU
+(translation counters) and the interpreter (fetch/dispatch counters),
+and surfaced via ``machine.perf``, ``repro run --stats``, and
+``benchmarks/baseline.py``.
+"""
+
+from __future__ import annotations
+
+#: Upper bound of the one-byte opcode space; sizes the per-opcode
+#: counter list.  (``repro.isa.opcodes.NUM_OPCODES`` is the exact
+#: bound, but importing it here would cycle hw -> perf -> isa -> hw, so
+#: the counters cover the full encodable space instead.)
+OP_SPACE = 256
+
+
+class PerfStats:
+    """Counters for the simulated CPU's fast paths.
+
+    Attributes are plain ints (and one list) so the hot loops can
+    increment them without function-call overhead.
+    """
+
+    __slots__ = ("tlb_hits", "tlb_misses", "tlb_flushes",
+                 "fetch_slow", "word_fast", "word_slow", "op_counts")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: Data/exec translations served from a context's software TLB.
+        self.tlb_hits = 0
+        #: Translations that required a full page-table (and EPT) walk.
+        self.tlb_misses = 0
+        #: Explicit whole-context flushes (CR3 writes, env switches).
+        self.tlb_flushes = 0
+        #: Instruction fetches that missed the per-page exec cache and
+        #: went through ``check_exec`` (fast fetches = instructions
+        #: executed minus this).
+        self.fetch_slow = 0
+        #: Aligned single-page word accesses that took the direct
+        #: frame route vs. the generic page-by-page loop.
+        self.word_fast = 0
+        self.word_slow = 0
+        #: Executed-instruction counts indexed by opcode value.
+        self.op_counts = [0] * OP_SPACE
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def instructions(self) -> int:
+        return sum(self.op_counts)
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / total if total else 0.0
+
+    def top_ops(self, n: int = 10) -> list[tuple[str, int]]:
+        from repro.isa.opcodes import Op  # deferred: see OP_SPACE note
+        pairs = [(Op(code).name, count)
+                 for code, count in enumerate(self.op_counts) if count]
+        pairs.sort(key=lambda item: item[1], reverse=True)
+        return pairs[:n]
+
+    # -- reporting ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "tlb_hits": self.tlb_hits,
+            "tlb_misses": self.tlb_misses,
+            "tlb_flushes": self.tlb_flushes,
+            "tlb_hit_rate": round(self.tlb_hit_rate, 4),
+            "fetch_slow": self.fetch_slow,
+            "word_fast": self.word_fast,
+            "word_slow": self.word_slow,
+            "instructions": self.instructions,
+            "ops": dict(self.top_ops(n=OP_SPACE)),
+        }
+
+    def describe(self, top: int = 8) -> list[str]:
+        """Human-readable counter lines for ``--stats`` output."""
+        insns = self.instructions
+        lines = [
+            f"tlb: {self.tlb_hits} hits / {self.tlb_misses} misses "
+            f"({100 * self.tlb_hit_rate:.1f}% hit rate), "
+            f"{self.tlb_flushes} flushes",
+            f"fetch: {insns - self.fetch_slow} fast / "
+            f"{self.fetch_slow} checked of {insns} instructions",
+            f"word access: {self.word_fast} fast / {self.word_slow} generic",
+        ]
+        if insns:
+            hot = ", ".join(f"{name}:{count}"
+                            for name, count in self.top_ops(top))
+            lines.append(f"hot opcodes: {hot}")
+        return lines
