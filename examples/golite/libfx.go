@@ -1,0 +1,7 @@
+// The untrusted image-processing library of the paper's Figure 1:
+// main never reviews this code, it only encloses the call into it.
+package libfx
+
+func Invert(pixel int) int {
+	return 255 - pixel
+}

@@ -28,11 +28,18 @@ def _read_sources(paths: list[str]) -> list[str]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     image = build_program(_read_sources(args.files))
-    machine = Machine(image, MachineConfig(backend=args.backend))
+    machine = Machine(image, MachineConfig(backend=args.backend,
+                                           trace=args.trace is not None))
     result = machine.run()
     sys.stdout.write(machine.stdout.decode("utf-8", "replace"))
     if result.status == "faulted":
         print(machine.fault_trace(), file=sys.stderr)
+    if args.trace is not None:
+        count = machine.tracer.write_chrome_trace(args.trace)
+        for line in machine.tracer.describe():
+            print(f"-- {line}", file=sys.stderr)
+        print(f"-- wrote {count} trace events to {args.trace}",
+              file=sys.stderr)
     if args.stats:
         clock = machine.clock
         print(f"-- simulated time: {clock.now_ns / 1e6:.3f} ms",
@@ -116,6 +123,9 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--backend", default="mpk",
                        choices=["baseline", "mpk", "vtx", "lwc"])
     p_run.add_argument("--stats", action="store_true")
+    p_run.add_argument("--trace", metavar="OUT.json", default=None,
+                       help="enable the enforcement-event tracer and "
+                            "write a Chrome trace-event JSON file")
     p_run.set_defaults(func=cmd_run)
 
     p_layout = sub.add_parser("layout", help="print the Fig.4 layout")

@@ -141,9 +141,18 @@ class LWCBackend(Backend):
     def syscall(self, cpu: CPU, nr: int, args: tuple[int, ...]) -> int:
         """Filtering on the context id inside the normal kernel entry —
         no seccomp program, no hypercall."""
+        tracer = self.litterbox.tracer
         env = self._current_env or self.litterbox.trusted_env
         if not env.allows_syscall(nr):
+            if tracer is not None:
+                tracer.instant("filter", "filter:deny",
+                               mechanism="lwc-kernel", nr=nr,
+                               env=env.name, verdict="kill")
             raise SyscallFault(
                 f"lwc kernel rejected {syscall_name(nr)} in context "
                 f"{env.name!r}", nr)
+        if tracer is not None:
+            tracer.instant("filter", "filter:allow",
+                           mechanism="lwc-kernel", nr=nr,
+                           env=env.name, verdict="allow")
         return self.litterbox.kernel.syscall(nr, args, cpu.ctx, pkru=0)

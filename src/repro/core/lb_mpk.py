@@ -152,6 +152,9 @@ class MPKBackend(Backend):
         """libmpk-style eviction: re-tag the overflow key's pages so that
         it represents this environment's overflow meta-package."""
         litterbox = self.litterbox
+        if litterbox.tracer is not None:
+            litterbox.tracer.instant("transfer", f"retag:{env.name}",
+                                     env=env.name, mechanism="libmpk")
         owner_meta = litterbox.clustering.meta_for(env.spec.pseudo_package)
         for pkg in owner_meta.packages:
             for section in litterbox.image.graph.get(pkg).sections:

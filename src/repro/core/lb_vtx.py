@@ -186,10 +186,29 @@ class VTXBackend(Backend):
         execution environment's filter.  If authorized, system calls are
         passed through to the host via a hypercall (VM EXIT)" (§5.3).
         """
+        tracer = self.litterbox.tracer
+        if tracer is None:
+            return self._guest_syscall(cpu, nr, args)
+        span = tracer.begin("syscall", f"guest-sys:{syscall_name(nr)}",
+                            nr=nr)
+        try:
+            ret = self._guest_syscall(cpu, nr, args)
+            span.args["ret"] = ret
+            return ret
+        finally:
+            tracer.end(span)
+
+    def _guest_syscall(self, cpu: CPU, nr: int,
+                       args: tuple[int, ...]) -> int:
         clock = self.litterbox.clock
         clock.charge(COSTS.GUEST_SYSCALL)
+        tracer = self.litterbox.tracer
         env = self._current_env or self.litterbox.trusted_env
         if not env.allows_syscall(nr):
+            if tracer is not None:
+                tracer.instant("filter", "filter:deny",
+                               mechanism="guest-os", nr=nr,
+                               env=env.name, verdict="kill")
             raise SyscallFault(
                 f"guest OS rejected {syscall_name(nr)} in environment "
                 f"{env.name!r}", nr)
@@ -197,8 +216,17 @@ class VTXBackend(Backend):
             value = args[rule.arg_index] if rule.arg_index < len(args) else 0
             if (value & 0xFFFFFFFF) not in \
                     {v & 0xFFFFFFFF for v in rule.allowed_values}:
+                if tracer is not None:
+                    tracer.instant("filter", "filter:deny",
+                                   mechanism="guest-os", nr=nr,
+                                   env=env.name, verdict="kill",
+                                   arg_index=rule.arg_index, value=value)
                 raise SyscallFault(
                     f"guest OS rejected {syscall_name(nr)}: argument "
                     f"{rule.arg_index} = {value:#x} not in the allow-list",
                     nr)
+        if tracer is not None:
+            tracer.instant("filter", "filter:allow",
+                           mechanism="guest-os", nr=nr,
+                           env=env.name, verdict="allow")
         return self.kvm.forward_syscall(nr, args, cpu.ctx)

@@ -75,6 +75,9 @@ class LitterBox:
         #: Reusable stacks of exited goroutines, per environment (Go's
         #: runtime recycles goroutine stacks from a pool).
         self._stack_pools: dict[int, list[StackSegment]] = {}
+        #: Optional enforcement-event tracer (repro.trace.Tracer), wired
+        #: by the machine; ``None`` keeps every hook a single branch.
+        self.tracer = None
         self.initialized = False
 
     # ------------------------------------------------------------------ Init
@@ -129,35 +132,65 @@ class LitterBox:
     def prolog(self, cpu: CPU, goroutine: "Goroutine", encl_id: int,
                call_site: int) -> None:
         """Enter an enclosure's execution environment (§4.2 Prolog)."""
-        self._verify_call_site(call_site, Hook.PROLOG)
-        target = self.env(encl_id)
-        current = goroutine.env
-        if not target.is_subset_of(current):
-            raise EscalationFault(
-                f"switch from {current.name!r} to less restrictive "
-                f"environment {target.name!r}")
-        goroutine.env_stack.append(
-            (current, cpu.fp, cpu.sp, cpu.stack))
-        stack = self._stack_for(goroutine, target)
-        cpu.stack = stack
-        cpu.fp = stack.base
-        cpu.sp = stack.base + 16
-        self._init_frame(stack.base)
-        goroutine.env = target
-        self.clock.tick("switches")
-        self.backend.switch_to(cpu, target)
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("switch", "prolog", call_site=call_site,
+                                backend=self.backend.name)
+        try:
+            self._verify_call_site(call_site, Hook.PROLOG)
+            target = self.env(encl_id)
+            current = goroutine.env
+            if not target.is_subset_of(current):
+                raise EscalationFault(
+                    f"switch from {current.name!r} to less restrictive "
+                    f"environment {target.name!r}")
+            if span is not None:
+                # The enclosure pays its own entry: attribute the switch
+                # span — and the timeline from its start — to the target.
+                span.name = f"prolog:{target.name}"
+                span.env = target.name
+                span.args["from"] = current.name
+                tracer.set_env(target.name, at=span.t0)
+            goroutine.env_stack.append(
+                (current, cpu.fp, cpu.sp, cpu.stack))
+            stack = self._stack_for(goroutine, target)
+            cpu.stack = stack
+            cpu.fp = stack.base
+            cpu.sp = stack.base + 16
+            self._init_frame(stack.base)
+            goroutine.env = target
+            self.clock.tick("switches")
+            self.backend.switch_to(cpu, target)
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def epilog(self, cpu: CPU, goroutine: "Goroutine",
                call_site: int) -> None:
         """Return to the caller's environment (§4.2 Epilog)."""
-        self._verify_call_site(call_site, Hook.EPILOG)
-        if not goroutine.env_stack:
-            raise Fault("exec", "Epilog without a matching Prolog")
-        previous, fp, sp, stack = goroutine.env_stack.pop()
-        goroutine.env = previous
-        cpu.fp, cpu.sp, cpu.stack = fp, sp, stack
-        self.clock.tick("switches")
-        self.backend.switch_to(cpu, previous)
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            # The exit switch still belongs to the enclosure being left.
+            span = tracer.begin("switch", f"epilog:{goroutine.env.name}",
+                                env=goroutine.env.name, call_site=call_site,
+                                backend=self.backend.name)
+        try:
+            self._verify_call_site(call_site, Hook.EPILOG)
+            if not goroutine.env_stack:
+                raise Fault("exec", "Epilog without a matching Prolog")
+            previous, fp, sp, stack = goroutine.env_stack.pop()
+            goroutine.env = previous
+            cpu.fp, cpu.sp, cpu.stack = fp, sp, stack
+            self.clock.tick("switches")
+            self.backend.switch_to(cpu, previous)
+            if span is not None:
+                span.args["to"] = previous.name
+        finally:
+            if span is not None:
+                tracer.end(span)
+                tracer.set_env(goroutine.env.name)
 
     def execute(self, cpu: CPU, goroutine: "Goroutine") -> None:
         """Scheduler hook: resume a goroutine in its own environment
@@ -168,13 +201,23 @@ class LitterBox:
 
     def transfer(self, base: int, size: int, to_pkg: str) -> None:
         """Dynamically repartition heap memory between arenas (§4.2)."""
-        if self.image is not None and to_pkg not in self.image.graph:
-            raise ConfigError(f"transfer to unknown package {to_pkg!r}")
-        section = Section(f"{to_pkg}.arena+{base:#x}", base, size,
-                          perms=_ARENA_PERMS)
-        self.clock.tick("transfers")
-        self.backend.transfer(section, to_pkg)
-        self.arenas.append(ArenaRecord(section, to_pkg))
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("transfer", f"transfer:{to_pkg}",
+                                pkg=to_pkg, base=base, size=size,
+                                backend=self.backend.name)
+        try:
+            if self.image is not None and to_pkg not in self.image.graph:
+                raise ConfigError(f"transfer to unknown package {to_pkg!r}")
+            section = Section(f"{to_pkg}.arena+{base:#x}", base, size,
+                              perms=_ARENA_PERMS)
+            self.clock.tick("transfers")
+            self.backend.transfer(section, to_pkg)
+            self.arenas.append(ArenaRecord(section, to_pkg))
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     # ----------------------------------------------------------------- stacks
 

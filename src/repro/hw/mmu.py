@@ -81,6 +81,15 @@ class MMU:
         self.physmem = physmem
         self.clock = clock
         self.perf = perf if perf is not None else PerfStats()
+        #: Optional enforcement-event tracer, wired by the machine.
+        #: Consulted only on fault paths — never on a successful access.
+        self.tracer = None
+
+    def _trace_violation(self, kind: str, vaddr: int,
+                         detail: str, **extra) -> None:
+        if self.tracer is not None:
+            self.tracer.instant("violation", f"violation:{kind}",
+                                vaddr=vaddr, detail=detail, **extra)
 
     # -- translation ----------------------------------------------------
 
@@ -92,18 +101,26 @@ class MMU:
         """
         pte = ctx.page_table.lookup(vaddr >> PAGE_SHIFT)
         if pte is None:
+            self._trace_violation("page-fault", vaddr, "no translation",
+                                  access=kind, table=ctx.page_table.name)
             raise PageFault("non-present",
                             f"no translation for {vaddr:#x} in {ctx.page_table.name}",
                             addr=vaddr)
         if not pte.present:
+            self._trace_violation("page-fault", vaddr, "not present",
+                                  access=kind, table=ctx.page_table.name)
             raise PageFault("non-present",
                             f"page {vaddr:#x} not present in {ctx.page_table.name}",
                             addr=vaddr)
         if ctx.user and not pte.user:
+            self._trace_violation("page-fault", vaddr, "supervisor page",
+                                  access=kind, table=ctx.page_table.name)
             raise PageFault(kind, f"user access to supervisor page {vaddr:#x}",
                             addr=vaddr)
         needed = {"r": Perm.R, "w": Perm.W, "x": Perm.X}[kind]
         if not pte.perms & needed:
+            self._trace_violation("page-fault", vaddr, "permission denied",
+                                  access=kind, perms=pte.perms.label())
             raise PageFault(
                 kind,
                 f"{kind}-access to {vaddr:#x} ({pte.perms.label()}) denied",
@@ -112,6 +129,8 @@ class MMU:
         if ctx.ept is not None:
             ept_pte = ctx.ept.lookup(paddr >> PAGE_SHIFT)
             if ept_pte is None:
+                self._trace_violation("ept", vaddr, "EPT violation",
+                                      access=kind, gpa=paddr)
                 raise PageFault("non-present",
                                 f"EPT violation for GPA {paddr:#x}", addr=vaddr)
             paddr = ept_pte.pfn * PAGE_SIZE + (paddr & PAGE_MASK)
@@ -127,10 +146,14 @@ class MMU:
         if ctx.pkru is None or not ctx.user or kind == "x":
             return
         if kind == "r" and not pkru_allows_read(ctx.pkru, pte.pkey):
+            self._trace_violation("pkey", vaddr, "PKRU denied read",
+                                  pkey=pte.pkey, pkru=ctx.pkru)
             raise PkeyFault(
                 f"read of {vaddr:#x} denied by PKRU for key {pte.pkey}",
                 addr=vaddr, pkey=pte.pkey)
         if kind == "w" and not pkru_allows_write(ctx.pkru, pte.pkey):
+            self._trace_violation("pkey", vaddr, "PKRU denied write",
+                                  pkey=pte.pkey, pkru=ctx.pkru)
             raise PkeyFault(
                 f"write of {vaddr:#x} denied by PKRU for key {pte.pkey}",
                 addr=vaddr, pkey=pte.pkey)

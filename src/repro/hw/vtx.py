@@ -52,6 +52,8 @@ class VirtualMachine:
         self.vmcs = VMCS(ept=PageTable("ept"))
         self._guest_tables: dict[str, PageTable] = {}
         self.hypercall_handler: Callable[..., int] | None = None
+        #: Optional enforcement-event tracer, wired by the machine.
+        self.tracer = None
 
     # -- guest page-table management --------------------------------------
 
@@ -101,7 +103,13 @@ class VirtualMachine:
     def vm_exit(self, reason: ExitReason) -> None:
         """Account one VM EXIT + later VM RESUME round trip."""
         self.vmcs.exits += 1
+        tracer = self.tracer
+        t0 = self.clock.now_ns if tracer is not None else 0.0
         self.clock.tick("vm_exits", COSTS.VMEXIT_ROUNDTRIP)
+        if tracer is not None:
+            tracer.complete("vm_exit", f"vm_exit:{reason.value}",
+                            t0, COSTS.VMEXIT_ROUNDTRIP,
+                            total_exits=self.vmcs.exits)
 
     def hypercall(self, nr: int, args: tuple[int, ...]) -> int:
         """Forward a request to root mode (the host kernel)."""

@@ -38,6 +38,7 @@ from repro.runtime.allocator import Allocator
 from repro.runtime.channels import ChannelTable
 from repro.runtime.runtime import Runtime, read_string
 from repro.runtime.scheduler import RunResult, Scheduler
+from repro.trace import Tracer
 
 
 @dataclass
@@ -45,6 +46,7 @@ class MachineConfig:
     backend: str = "baseline"          # baseline | mpk | vtx | lwc
     virtualize_keys: bool = False      # libmpk-style ablation (LBMPK)
     arg_rules: list[ArgRule] | None = None  # §6.5 sysfilter extension
+    trace: bool = False                # enforcement-event tracer
 
 
 class Machine:
@@ -60,9 +62,15 @@ class Machine:
         #: Wall-clock observability counters (TLB, fetch, opcodes);
         #: shared by the MMU and interpreter, independent of SimClock.
         self.perf = PerfStats()
+        #: Enforcement-event tracer (``None`` unless ``config.trace``);
+        #: every hook site guards on ``is not None`` so the disabled
+        #: path is a single attribute test.
+        self.tracer = Tracer(self.clock) if config.trace else None
         self.physmem = PhysicalMemory()
         self.mmu = MMU(self.physmem, self.clock, perf=self.perf)
+        self.mmu.tracer = self.tracer
         self.kernel = Kernel(self.physmem, self.mmu, self.clock)
+        self.kernel.tracer = self.tracer
         self.host_table = PageTable("host")
         self.kernel.host_table = self.host_table
         self.interp = Interpreter(self.mmu, self.clock)
@@ -74,6 +82,7 @@ class Machine:
         backend = self._make_backend(config)
         self.backend = backend
         self.litterbox = LitterBox(backend, self.kernel, self.mmu, self.clock)
+        self.litterbox.tracer = self.tracer
         self.litterbox.trusted_ctx = TranslationContext(
             page_table=self.host_table, pkru=None)
 
@@ -85,6 +94,7 @@ class Machine:
         self.litterbox.init(image)
         if config.backend == "vtx":
             vtx: VTXBackend = backend
+            vtx.vm.tracer = self.tracer
             # Entering guest mode installs a new CR3 and the EPT: any
             # translations cached during loading are flushed.
             self.cpu.ctx.page_table = vtx.trusted_table
@@ -95,6 +105,7 @@ class Machine:
         self.pkg_names = sorted(image.graph.names())
         self.allocator = Allocator(self.litterbox)
         self.scheduler = Scheduler(self.cpu, self.interp, self.litterbox)
+        self.scheduler.tracer = self.tracer
         self.channels = ChannelTable(self.scheduler.wake)
         self.runtime = Runtime(self.mmu, self.allocator, self.scheduler,
                                self.channels, self.pkg_names)
@@ -157,7 +168,14 @@ class Machine:
 
     def run(self, entry_symbol: str | None = None,
             max_steps: int = 200_000_000) -> RunResult:
-        """Run the program's main goroutine to completion."""
+        """Run the program's main goroutine to completion.
+
+        ``machine.perf`` is reset at entry so ``--stats`` and the
+        benchmarks report the counters of *this* run only — back-to-back
+        ``run()`` calls in one process no longer accumulate.
+        (:meth:`resume` continues the current run and keeps counting.)
+        """
+        self.perf.begin_run()
         entry = (self.image.symbols[entry_symbol]
                  if entry_symbol else self.image.entry)
         self.scheduler.spawn(entry, env=self.litterbox.trusted_env)
@@ -174,6 +192,11 @@ class Machine:
             if self.config.backend == "vtx":
                 # A fault triggers a VM EXIT before the program aborts.
                 self.clock.tick("vm_exits", COSTS.VMEXIT_ROUNDTRIP)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "violation", "violation:abort",
+                    fault=str(result.fault),
+                    fault_kind=getattr(result.fault, "kind", ""))
         return result
 
     # ------------------------------------------------------------------ tools

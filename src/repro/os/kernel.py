@@ -73,6 +73,8 @@ class Kernel:
         self._mmap_cursor = MMAP_BASE
         self._mappings: dict[int, int] = {}  # base -> size
         self.syscall_log: list[int] = []
+        #: Optional enforcement-event tracer, wired by the machine.
+        self.tracer = None
 
         self._handlers: dict[int, Callable] = {
             sc.SYS_READ: self._sys_read,
@@ -124,6 +126,20 @@ class Kernel:
         page table with kernel privileges (PKRU does not constrain the
         kernel's copy_from_user path).
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._syscall(nr, args, ctx, pkru)
+        span = tracer.begin("syscall", f"sys:{sc.syscall_name(nr)}",
+                            nr=nr, pkru=pkru)
+        try:
+            ret = self._syscall(nr, args, ctx, pkru)
+            span.args["ret"] = ret
+            return ret
+        finally:
+            tracer.end(span)
+
+    def _syscall(self, nr: int, args: tuple[int, ...],
+                 ctx: TranslationContext | None, pkru: int) -> int:
         self.clock.charge(COSTS.HOST_SYSCALL)
         self.clock.tick("syscalls")
         self.syscall_log.append(nr)
@@ -133,14 +149,30 @@ class Kernel:
             self.clock.charge(
                 COSTS.SECCOMP_FIXED + COSTS.SECCOMP_BPF_INSN * executed)
             action = ret & 0xFFFF0000
+            tracer = self.tracer
             if action == SECCOMP_RET_KILL:
+                if tracer is not None:
+                    tracer.instant("filter", "filter:deny",
+                                   mechanism="seccomp-bpf", nr=nr,
+                                   pkru=pkru, verdict="kill",
+                                   bpf_insns=executed)
                 raise SyscallFault(
                     f"seccomp killed {sc.syscall_name(nr)} "
                     f"(pkru={pkru:#010x})", nr)
             if action == SECCOMP_RET_ERRNO:
+                if tracer is not None:
+                    tracer.instant("filter", "filter:deny",
+                                   mechanism="seccomp-bpf", nr=nr,
+                                   pkru=pkru, verdict="errno",
+                                   errno=ret & 0xFFFF, bpf_insns=executed)
                 return -(ret & 0xFFFF)
             if action != SECCOMP_RET_ALLOW:  # pragma: no cover
                 raise KernelError(f"unsupported seccomp action {ret:#x}")
+            if tracer is not None:
+                tracer.instant("filter", "filter:allow",
+                               mechanism="seccomp-bpf", nr=nr,
+                               pkru=pkru, verdict="allow",
+                               bpf_insns=executed)
         handler = self._handlers.get(nr)
         if handler is None:
             return -errno.ENOSYS

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.hw.clock import SimClock
 from repro.hw.mmu import TranslationContext
-from repro.hw.vtx import VirtualMachine
+from repro.hw.vtx import ExitReason, VirtualMachine
 from repro.os.kernel import Kernel
 
 
@@ -39,5 +39,5 @@ class KVMDevice:
         is irrelevant here (no seccomp filter is loaded in VTX mode).
         """
         assert self.vm is not None
-        self.vm.vm_exit(reason=None)  # accounts EXIT + RESUME
+        self.vm.vm_exit(ExitReason.HYPERCALL)  # accounts EXIT + RESUME
         return self.kernel.syscall(nr, args, ctx, pkru=0)

@@ -25,8 +25,13 @@ from repro.os import errno
 
 def ip_of(dotted: str) -> int:
     """Pack ``"127.0.0.1"`` into an integer address."""
-    parts = [int(p) for p in dotted.split(".")]
-    if len(parts) != 4 or any(not 0 <= p < 256 for p in parts):
+    octets = dotted.split(".")
+    # Validate before int(): a non-numeric octet like "1.2.x.4" must
+    # raise ConfigError, not leak the bare ValueError from int().
+    if len(octets) != 4 or not all(p.isdigit() for p in octets):
+        raise ConfigError(f"bad IPv4 address {dotted!r}")
+    parts = [int(p) for p in octets]
+    if any(not 0 <= p < 256 for p in parts):
         raise ConfigError(f"bad IPv4 address {dotted!r}")
     value = 0
     for part in parts:

@@ -31,9 +31,19 @@ class PerfStats:
     """
 
     __slots__ = ("tlb_hits", "tlb_misses", "tlb_flushes",
-                 "fetch_slow", "word_fast", "word_slow", "op_counts")
+                 "fetch_slow", "word_fast", "word_slow", "op_counts",
+                 "runs")
 
     def __init__(self) -> None:
+        #: How many ``Machine.run()`` drives this instance has counted;
+        #: survives :meth:`reset` so reports can say which run they are.
+        self.runs = 0
+        self.reset()
+
+    def begin_run(self) -> None:
+        """Reset all counters at the start of a ``Machine.run()`` so the
+        numbers describe that run only, not the process lifetime."""
+        self.runs += 1
         self.reset()
 
     def reset(self) -> None:
@@ -76,6 +86,7 @@ class PerfStats:
 
     def as_dict(self) -> dict:
         return {
+            "runs": self.runs,
             "tlb_hits": self.tlb_hits,
             "tlb_misses": self.tlb_misses,
             "tlb_flushes": self.tlb_flushes,

@@ -59,6 +59,8 @@ class Scheduler:
         self.blocked: dict[tuple, list[Goroutine]] = {}
         self.current: Goroutine | None = None
         self.main: Goroutine | None = None
+        #: Optional enforcement-event tracer, wired by the machine.
+        self.tracer = None
         self._next_id = 1
 
     # -- creation ------------------------------------------------------------
@@ -125,9 +127,20 @@ class Scheduler:
             if goroutine.activation is None:
                 goroutine.activation = self._first_activation(goroutine)
             self.cpu.restore_activation(goroutine.activation)
-            self.cpu.clock.charge(COSTS.SCHED_SWITCH)
-            # Execute hook: resume in the goroutine's own environment.
-            self.litterbox.execute(self.cpu, goroutine)
+            tracer = self.tracer
+            if tracer is None:
+                self.cpu.clock.charge(COSTS.SCHED_SWITCH)
+                # Execute hook: resume in the goroutine's own environment.
+                self.litterbox.execute(self.cpu, goroutine)
+            else:
+                span = tracer.begin("switch",
+                                    f"execute:{goroutine.env.name}",
+                                    env=goroutine.env.name,
+                                    goroutine=goroutine.id)
+                self.cpu.clock.charge(COSTS.SCHED_SWITCH)
+                self.litterbox.execute(self.cpu, goroutine)
+                tracer.set_env(goroutine.env.name, at=span.t0)
+                tracer.end(span)
             goroutine.state = "running"
 
             slice_steps = 0

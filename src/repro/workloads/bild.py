@@ -206,10 +206,11 @@ def build_bild_image(width: int = 32, height: int = 32,
 
 
 def run_bild(backend: str, width: int = 32, height: int = 32,
-             iterations: int = 1) -> Machine:
-    """Run the bild app; returns the finished machine (check .clock)."""
+             iterations: int = 1, trace: bool = False) -> Machine:
+    """Run the bild app; returns the finished machine (check .clock,
+    and .tracer for the per-enclosure breakdown when ``trace=True``)."""
     machine = Machine(build_bild_image(width, height, iterations),
-                      MachineConfig(backend=backend))
+                      MachineConfig(backend=backend, trace=trace))
     result = machine.run()
     if result.status != "exited":
         raise AssertionError(f"bild/{backend} failed: {machine.fault}")

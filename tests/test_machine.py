@@ -110,3 +110,34 @@ class TestSimulatedTimeSanity:
         init_ns = machine.clock.now_ns
         machine.run()
         assert machine.clock.now_ns > init_ns
+
+
+class TestPerfCountersPerRun:
+    def test_back_to_back_runs_do_not_accumulate(self):
+        """machine.perf describes the last run() only (the counters
+        used to accumulate across consecutive runs in one process)."""
+        machine = Machine(build_image(), "mpk")
+        machine.run()
+        first = machine.perf.as_dict()
+        assert first["instructions"] > 0
+        machine.run()
+        second = machine.perf.as_dict()
+        # Identical program, identical run: identical counters — not
+        # double the first run's numbers.
+        assert second["instructions"] == first["instructions"]
+        assert second["ops"] == first["ops"]
+
+    def test_runs_counter_survives_reset(self):
+        machine = Machine(build_image(), "mpk")
+        machine.run()
+        machine.run()
+        assert machine.perf.runs == 2
+        assert machine.perf.as_dict()["runs"] == 2
+
+    def test_resume_keeps_counting_the_current_run(self):
+        machine = Machine(build_image(), "baseline")
+        machine.run()
+        after_run = machine.perf.instructions
+        machine.resume()
+        assert machine.perf.runs == 1
+        assert machine.perf.instructions >= after_run

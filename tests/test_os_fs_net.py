@@ -103,6 +103,19 @@ class TestIpHelpers:
         with pytest.raises(ConfigError):
             ip_of("300.0.0.1")
 
+    @pytest.mark.parametrize("dotted", [
+        "1.2.x.4",       # non-numeric octet used to leak a ValueError
+        "1.2.3",
+        "1.2.3.4.5",
+        "1..3.4",
+        "-1.2.3.4",
+        "",
+    ])
+    def test_malformed_addresses_raise_config_error(self, dotted):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ip_of(dotted)
+
 
 class TestNetwork:
     def test_connect_refused_without_listener(self):
