@@ -58,11 +58,16 @@ class AttackReport:
     functional: bool         # did the advertised feature complete?
     exfiltrated: bool        # did secrets reach the attacker?
     blocked_by: str | None   # None | syscall | memory
+    #: Did the machine survive the attack (fault contained rather than
+    #: aborting the program)?  Always False for a blocked attack under
+    #: the paper's "abort" policy.
+    survived: bool = True
 
     def row(self) -> str:
         return (f"{self.name:<14} {self.protection:<12} "
                 f"{'yes' if self.functional else 'no ':<11} "
                 f"{'LEAKED' if self.exfiltrated else 'safe':<7} "
+                f"{'alive' if self.survived else 'dead ':<6} "
                 f"{self.blocked_by or '-'}")
 
 
@@ -76,11 +81,20 @@ def _blocked_by(machine: Machine) -> str | None:
     return "other"
 
 
+def _survived(result) -> bool:
+    """The machine outlived the attack: either nothing faulted, or the
+    fault was contained (killed just the goroutine) instead of aborting."""
+    return result.status != "faulted"
+
+
 def _machine(sources: list[str], backend: str,
-             config: MachineConfig | None = None) -> tuple[Machine,
-                                                           CollectorService]:
+             config: MachineConfig | None = None,
+             fault_policy: str = "abort") -> tuple[Machine,
+                                                   CollectorService]:
     image = build_program(sources)
-    machine = Machine(image, config or MachineConfig(backend=backend))
+    if config is None:
+        config = MachineConfig(backend=backend, fault_policy=fault_policy)
+    machine = Machine(image, config)
     machine.kernel.fs.add_file(pkgs.SSH_KEY_PATH, SSH_PRIVATE_KEY)
     machine.kernel.fs.add_file(pkgs.GPG_KEY_PATH, GPG_SECRET)
     collector = CollectorService()
@@ -91,7 +105,8 @@ def _machine(sources: list[str], backend: str,
 
 # ---------------------------------------------------------------- scenarios
 
-def run_key_stealer(backend: str, enclosed: bool) -> AttackReport:
+def run_key_stealer(backend: str, enclosed: bool,
+                    fault_policy: str = "abort") -> AttackReport:
     if enclosed:
         body = ('pad := with "none" func() string '
                 '{ return leftpadlib.Pad("hi", 8) }\n    out = pad()')
@@ -108,7 +123,8 @@ func main() {{
     {body}
 }}
 """
-    machine, collector = _machine([pkgs.KEY_STEALER_SOURCE, app], backend)
+    machine, collector = _machine([pkgs.KEY_STEALER_SOURCE, app], backend,
+                                  fault_policy=fault_policy)
     result = machine.run()
     functional = result.status == "exited" and \
         machine.read_global("main.out") != 0
@@ -119,10 +135,12 @@ func main() {{
         functional=functional,
         exfiltrated=SSH_PRIVATE_KEY in bytes(collector.received),
         blocked_by=_blocked_by(machine),
+        survived=_survived(result),
     )
 
 
-def run_backdoor(backend: str, enclosed: bool) -> AttackReport:
+def run_backdoor(backend: str, enclosed: bool,
+                 fault_policy: str = "abort") -> AttackReport:
     if enclosed:
         body = ('mean := with "none" func() int {\n'
                 '        vals := make([]int, 3)\n'
@@ -145,7 +163,8 @@ func main() {{
     {body}
 }}
 """
-    machine, _ = _machine([pkgs.BACKDOOR_SOURCE, app], backend)
+    machine, _ = _machine([pkgs.BACKDOOR_SOURCE, app], backend,
+                          fault_policy=fault_policy)
     result = machine.run()
     from repro.os.net import LOCALHOST
     door = machine.kernel.net.connect(LOCALHOST, pkgs.BACKDOOR_PORT)
@@ -159,10 +178,12 @@ func main() {{
         functional=functional,
         exfiltrated=backdoor_open,
         blocked_by=_blocked_by(machine),
+        survived=_survived(result),
     )
 
 
-def run_django_clone(backend: str, enclosed: bool) -> AttackReport:
+def run_django_clone(backend: str, enclosed: bool,
+                     fault_policy: str = "abort") -> AttackReport:
     if enclosed:
         body = ('render := with "none" func() string '
                 '{ return webfw.Render("home") }\n    out = render()')
@@ -180,7 +201,8 @@ func main() {{
     {body}
 }}
 """
-    machine, collector = _machine([pkgs.DJANGO_CLONE_SOURCE, app], backend)
+    machine, collector = _machine([pkgs.DJANGO_CLONE_SOURCE, app], backend,
+                                  fault_policy=fault_policy)
     # The malware "knows" where the secret lives: scan the symbol table
     # for main's string literals, as the real clones scraped memory.
     secret_addr = next(
@@ -198,6 +220,7 @@ func main() {{
         functional=functional,
         exfiltrated=b"sk-live" in bytes(collector.received),
         blocked_by=_blocked_by(machine),
+        survived=_survived(result),
     )
 
 
@@ -209,7 +232,8 @@ var Key string = "ssh-rsa-PRIVATE-abcdef"
 
 
 def run_ssh_decorator(backend: str, protection: str,
-                      infected: bool = True) -> AttackReport:
+                      infected: bool = True,
+                      fault_policy: str = "abort") -> AttackReport:
     """The hard §6.5 case: the feature needs the secret *and* syscalls.
 
     protection:
@@ -258,7 +282,7 @@ func main() {{
     {body}
 }}
 """
-    config = MachineConfig(backend=backend)
+    config = MachineConfig(backend=backend, fault_policy=fault_policy)
     if protection == "ipfilter":
         config.arg_rules = [ArgRule(SYS_CONNECT, 1, (pkgs.SSH_SERVER_IP,))]
     machine, collector = _machine(
@@ -277,23 +301,28 @@ func main() {{
         functional=output.startswith(b"ok:"),
         exfiltrated=b"PRIVATE" in bytes(collector.received),
         blocked_by=_blocked_by(machine),
+        survived=_survived(result),
     )
 
 
-def security_study(backend: str) -> list[AttackReport]:
+def security_study(backend: str,
+                   fault_policy: str = "abort") -> list[AttackReport]:
     """Run the full §6.5 matrix for one backend."""
+    fp = fault_policy
     reports = [
-        run_key_stealer(backend, enclosed=False),
-        run_key_stealer(backend, enclosed=True),
-        run_backdoor(backend, enclosed=False),
-        run_backdoor(backend, enclosed=True),
-        run_django_clone(backend, enclosed=False),
-        run_django_clone(backend, enclosed=True),
-        run_ssh_decorator(backend, "unprotected"),
-        run_ssh_decorator(backend, "naive"),
-        run_ssh_decorator(backend, "presocket"),
-        run_ssh_decorator(backend, "ipfilter"),
-        run_ssh_decorator(backend, "presocket", infected=False),
-        run_ssh_decorator(backend, "ipfilter", infected=False),
+        run_key_stealer(backend, enclosed=False, fault_policy=fp),
+        run_key_stealer(backend, enclosed=True, fault_policy=fp),
+        run_backdoor(backend, enclosed=False, fault_policy=fp),
+        run_backdoor(backend, enclosed=True, fault_policy=fp),
+        run_django_clone(backend, enclosed=False, fault_policy=fp),
+        run_django_clone(backend, enclosed=True, fault_policy=fp),
+        run_ssh_decorator(backend, "unprotected", fault_policy=fp),
+        run_ssh_decorator(backend, "naive", fault_policy=fp),
+        run_ssh_decorator(backend, "presocket", fault_policy=fp),
+        run_ssh_decorator(backend, "ipfilter", fault_policy=fp),
+        run_ssh_decorator(backend, "presocket", infected=False,
+                          fault_policy=fp),
+        run_ssh_decorator(backend, "ipfilter", infected=False,
+                          fault_policy=fp),
     ]
     return reports

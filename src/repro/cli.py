@@ -28,12 +28,30 @@ def _read_sources(paths: list[str]) -> list[str]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     image = build_program(_read_sources(args.files))
-    machine = Machine(image, MachineConfig(backend=args.backend,
-                                           trace=args.trace is not None))
+    machine = Machine(image, MachineConfig(
+        backend=args.backend,
+        trace=args.trace is not None,
+        fault_policy=args.fault_policy,
+        inject=args.inject,
+        inject_seed=args.seed,
+        quarantine_threshold=args.quarantine_threshold))
     result = machine.run()
     sys.stdout.write(machine.stdout.decode("utf-8", "replace"))
     if result.status == "faulted":
         print(machine.fault_trace(), file=sys.stderr)
+    elif result.status == "killed":
+        print(f"repro: main goroutine killed by contained fault: "
+              f"{machine.fault}", file=sys.stderr)
+    if args.fault_policy != "abort" or args.inject:
+        report = machine.containment_report()
+        contained = report["contained"]
+        print(f"-- containment: policy={report['fault_policy']} "
+              f"contained={len(contained)} "
+              f"quarantined={sorted(report['quarantined'])}",
+              file=sys.stderr)
+        for entry in contained:
+            print(f"--   contained {entry['kind']}: {entry['detail']} "
+                  f"[{entry['origin']}]", file=sys.stderr)
     if args.trace is not None:
         count = machine.tracer.write_chrome_trace(args.trace)
         for line in machine.tracer.describe():
@@ -91,6 +109,73 @@ def cmd_py(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_macro(args: argparse.Namespace) -> int:
+    """Drive the HTTP macro workload, optionally under fault injection.
+
+    Used by CI as the containment smoke test: with a fixed seed and a
+    quarantine policy the server must absorb every injected enclosure
+    violation (answering poisoned requests with a 500) while clean
+    responses stay identical.
+    """
+    import json
+
+    from repro.workloads.httpserver import run_http_server
+
+    config = MachineConfig(backend=args.backend,
+                           fault_policy=args.fault_policy,
+                           inject=args.inject,
+                           inject_seed=args.seed,
+                           quarantine_threshold=args.quarantine_threshold)
+    driver = run_http_server(args.backend, config=config)
+    machine = driver.machine
+    ok = errors = other = 0
+    reference: bytes | None = None
+    diverged = False
+    for _ in range(args.requests):
+        response = driver.request()
+        if response.startswith(b"HTTP/1.1 200"):
+            ok += 1
+            if reference is None:
+                reference = response
+            elif response != reference:
+                diverged = True
+        elif response.startswith(b"HTTP/1.1 500"):
+            errors += 1
+        else:
+            other += 1
+    report = machine.containment_report()
+    contained = len(report["contained"])
+    summary = {
+        "backend": args.backend,
+        "requests": args.requests,
+        "ok": ok,
+        "errors": errors,
+        "other": other,
+        "diverged": diverged,
+        "sim_ns": machine.clock.now_ns,
+        **report,
+    }
+    if args.report:
+        pathlib.Path(args.report).write_text(
+            json.dumps(summary, indent=2, default=str))
+    print(f"-- macro[{args.backend}]: {ok} ok, {errors} errors, "
+          f"{contained} contained faults "
+          f"(policy={config.fault_policy})", file=sys.stderr)
+    if diverged:
+        print("repro: clean responses diverged under injection",
+              file=sys.stderr)
+        return 1
+    if other:
+        print(f"repro: {other} responses were neither 200 nor 500",
+              file=sys.stderr)
+        return 1
+    if args.expect_contained and contained < args.expect_contained:
+        print(f"repro: expected >= {args.expect_contained} contained "
+              f"faults, saw {contained}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_micro(args: argparse.Namespace) -> int:
     from benchmarks.test_table1_micro import (
         BACKENDS,
@@ -126,7 +211,35 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--trace", metavar="OUT.json", default=None,
                        help="enable the enforcement-event tracer and "
                             "write a Chrome trace-event JSON file")
+    p_run.add_argument("--fault-policy", default="abort",
+                       choices=["abort", "kill-goroutine", "quarantine"],
+                       help="what a fault inside an enclosure does")
+    p_run.add_argument("--inject", metavar="SPEC", default=None,
+                       help="deterministic fault-injection spec, e.g. "
+                            "'eagain@main_1:every=3;pkey@main_1'")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="fault-injector RNG seed")
+    p_run.add_argument("--quarantine-threshold", type=int, default=1,
+                       help="contained faults before quarantine trips")
     p_run.set_defaults(func=cmd_run)
+
+    p_macro = sub.add_parser(
+        "macro", help="drive the HTTP macro workload (CI containment "
+                      "smoke under --inject)")
+    p_macro.add_argument("--backend", default="mpk",
+                         choices=["baseline", "mpk", "vtx", "lwc"])
+    p_macro.add_argument("--requests", type=int, default=20)
+    p_macro.add_argument("--fault-policy", default="abort",
+                         choices=["abort", "kill-goroutine", "quarantine"])
+    p_macro.add_argument("--inject", metavar="SPEC", default=None)
+    p_macro.add_argument("--seed", type=int, default=0)
+    p_macro.add_argument("--quarantine-threshold", type=int, default=1)
+    p_macro.add_argument("--expect-contained", type=int, default=0,
+                         help="fail unless at least this many faults "
+                              "were contained")
+    p_macro.add_argument("--report", metavar="OUT.json", default=None,
+                         help="write the containment report as JSON")
+    p_macro.set_defaults(func=cmd_macro)
 
     p_layout = sub.add_parser("layout", help="print the Fig.4 layout")
     p_layout.add_argument("files", nargs="+")

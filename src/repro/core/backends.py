@@ -48,6 +48,17 @@ class Backend(abc.ABC):
     def syscall(self, cpu: CPU, nr: int, args: tuple[int, ...]) -> int:
         """Route one SYSCALL instruction through this backend's filter path."""
 
+    def contained_fault(self, cpu: CPU) -> None:
+        """Charge the hardware cost of *containing* (not aborting on) a
+        fault: the trap delivery that hands control back to the runtime.
+        Default: free (baseline has no enforcement trap)."""
+
+    def quarantine(self, env: Environment) -> None:
+        """Hard-revoke a quarantined environment at the hardware layer,
+        as defense in depth under the ``quarantine`` policy (the
+        quarantine registry already denies Prolog/Execute).  Default:
+        nothing to revoke."""
+
 
 class BaselineBackend(Backend):
     """No enforcement: enclosures behave as vanilla closures.

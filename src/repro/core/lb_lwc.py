@@ -150,9 +150,22 @@ class LWCBackend(Backend):
                                env=env.name, verdict="kill")
             raise SyscallFault(
                 f"lwc kernel rejected {syscall_name(nr)} in context "
-                f"{env.name!r}", nr)
+                f"{env.name!r}", nr).attribute(env)
         if tracer is not None:
             tracer.instant("filter", "filter:allow",
                            mechanism="lwc-kernel", nr=nr,
                            env=env.name, verdict="allow")
         return self.litterbox.kernel.syscall(nr, args, cpu.ctx, pkru=0)
+
+    # ------------------------------------------------------------ containment
+
+    def contained_fault(self, cpu: CPU) -> None:
+        """A contained LWC fault is one kernel trap into the context
+        supervisor (no VM, no seccomp machinery)."""
+        self.litterbox.clock.charge(COSTS.HOST_SYSCALL)
+
+    def quarantine(self, env: Environment) -> None:
+        """Hard-revoke the quarantined context's table: every page goes
+        non-present, so the context cannot run even if re-installed."""
+        if env.table is not None and env.table is not self.trusted_table:
+            env.table.revoke_all()

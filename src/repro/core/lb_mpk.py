@@ -25,7 +25,12 @@ from repro.core.policy import Access
 from repro.errors import ConfigError, Fault
 from repro.hw.clock import COSTS
 from repro.hw.cpu import CPU
-from repro.hw.mpk import NUM_KEYS, PKRU_ALLOW_ALL, make_pkru
+from repro.hw.mpk import (
+    NUM_KEYS,
+    PKRU_ALLOW_ALL,
+    PKRU_DENY_ALL_BUT_0,
+    make_pkru,
+)
 from repro.hw.pages import Perm, Section
 from repro.isa.opcodes import PKRU_WRITING_OPS
 from repro.os.seccomp import ArgRule, build_pkru_filter
@@ -196,3 +201,16 @@ class MPKBackend(Backend):
     def syscall(self, cpu: CPU, nr: int, args: tuple[int, ...]) -> int:
         """Host syscall; the kernel's seccomp filter sees the live PKRU."""
         return self.litterbox.kernel.syscall(nr, args, cpu.ctx, cpu.pkru)
+
+    # ------------------------------------------------------------ containment
+
+    def contained_fault(self, cpu: CPU) -> None:
+        """A contained MPK fault is a SIGSEGV delivered to the runtime's
+        handler: one kernel entry instead of process death."""
+        self.litterbox.clock.charge(COSTS.HOST_SYSCALL)
+
+    def quarantine(self, env: Environment) -> None:
+        """Hard-revoke: the quarantined environment's PKRU value keeps
+        only the default key, so even a forged switch into it can no
+        longer touch any package's data."""
+        env.pkru = PKRU_DENY_ALL_BUT_0

@@ -22,6 +22,7 @@ from repro.hw.clock import COSTS
 from repro.hw.cpu import CPU
 from repro.hw.pages import Perm, Section
 from repro.hw.pagetable import PageTable
+from repro.hw.vtx import ExitReason
 from repro.os.kvm import KVMDevice
 from repro.os.syscalls import syscall_name
 
@@ -211,7 +212,7 @@ class VTXBackend(Backend):
                                env=env.name, verdict="kill")
             raise SyscallFault(
                 f"guest OS rejected {syscall_name(nr)} in environment "
-                f"{env.name!r}", nr)
+                f"{env.name!r}", nr).attribute(env)
         for rule in self._arg_rules.get(nr, ()):
             value = args[rule.arg_index] if rule.arg_index < len(args) else 0
             if (value & 0xFFFFFFFF) not in \
@@ -224,9 +225,23 @@ class VTXBackend(Backend):
                 raise SyscallFault(
                     f"guest OS rejected {syscall_name(nr)}: argument "
                     f"{rule.arg_index} = {value:#x} not in the allow-list",
-                    nr)
+                    nr).attribute(env)
         if tracer is not None:
             tracer.instant("filter", "filter:allow",
                            mechanism="guest-os", nr=nr,
                            env=env.name, verdict="allow")
         return self.kvm.forward_syscall(nr, args, cpu.ctx)
+
+    # ------------------------------------------------------------ containment
+
+    def contained_fault(self, cpu: CPU) -> None:
+        """A contained guest fault still pays the full VM EXIT round
+        trip — it just RESUMEs the guest instead of tearing it down."""
+        self.vm.vm_exit(ExitReason.CONTAIN)
+
+    def quarantine(self, env: Environment) -> None:
+        """Hard-revoke: mark every page of the quarantined environment's
+        guest table non-present, so even a forged CR3 write into it
+        faults on the first access."""
+        if env.table is not None and env.table is not self.trusted_table:
+            env.table.revoke_all()

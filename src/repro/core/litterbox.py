@@ -28,6 +28,7 @@ from repro.errors import (
     ConfigError,
     EscalationFault,
     Fault,
+    QuarantinedFault,
 )
 from repro.hw.clock import SimClock
 from repro.hw.cpu import CPU, StackSegment
@@ -78,6 +79,18 @@ class LitterBox:
         #: Optional enforcement-event tracer (repro.trace.Tracer), wired
         #: by the machine; ``None`` keeps every hook a single branch.
         self.tracer = None
+        #: Optional deterministic fault injector (repro.inject), wired
+        #: by the machine; ``None`` keeps Prolog injection-free.
+        self.injector = None
+        #: Containment policy state (set by the machine from its config).
+        self.fault_policy = "abort"
+        self.quarantine_threshold = 1
+        #: Quarantine registry: env id -> root-cause string.  Consulted
+        #: on Prolog and Execute; empty (falsy) in the common case so
+        #: the checks cost one truthiness test.
+        self.quarantined: dict[int, str] = {}
+        #: Contained-fault counts per environment (quarantine trip wire).
+        self.fault_counts: dict[int, int] = {}
         self.initialized = False
 
     # ------------------------------------------------------------------ Init
@@ -144,7 +157,14 @@ class LitterBox:
             if not target.is_subset_of(current):
                 raise EscalationFault(
                     f"switch from {current.name!r} to less restrictive "
-                    f"environment {target.name!r}")
+                    f"environment {target.name!r}").attribute(current)
+            if self.quarantined and encl_id in self.quarantined:
+                raise QuarantinedFault(
+                    f"enclosure {target.name!r} is quarantined "
+                    f"({self.quarantined[encl_id]})",
+                    env_id=target.id, env_name=target.name)
+            if self.injector is not None:
+                self.injector.on_prolog(target)
             if span is not None:
                 # The enclosure pays its own entry: attribute the switch
                 # span — and the timeline from its start — to the target.
@@ -195,7 +215,55 @@ class LitterBox:
     def execute(self, cpu: CPU, goroutine: "Goroutine") -> None:
         """Scheduler hook: resume a goroutine in its own environment
         (§4.2 Execute).  Runtime-privileged; not an LBCALL site."""
+        if self.quarantined and goroutine.env.id in self.quarantined:
+            # A goroutine parked inside an enclosure that was since
+            # quarantined must not resume in it.
+            raise QuarantinedFault(
+                f"resume into quarantined enclosure "
+                f"{goroutine.env.name!r} "
+                f"({self.quarantined[goroutine.env.id]})",
+                env_id=goroutine.env.id, env_name=goroutine.env.name)
         self.backend.switch_to(cpu, goroutine.env)
+
+    # ------------------------------------------------------------ containment
+
+    def unwind_on_fault(self, cpu: CPU, goroutine: "Goroutine") -> int:
+        """Epilog-on-fault: unwind a faulted goroutine to its outermost
+        Prolog frame, restoring the base environment's stack, frame
+        pointer, and hardware restrictions (PKRU / page table) exactly
+        as a stack of Epilogs would.  Returns the frames unwound."""
+        depth = len(goroutine.env_stack)
+        if depth == 0:
+            return 0
+        base_env, fp, sp, stack = goroutine.env_stack[0]
+        goroutine.env_stack.clear()
+        goroutine.env = base_env
+        cpu.fp, cpu.sp, cpu.stack = fp, sp, stack
+        self.clock.tick("switches")
+        self.backend.switch_to(cpu, base_env)
+        return depth
+
+    def note_contained_fault(self, fault: Fault) -> None:
+        """Count a contained fault against its environment and trip the
+        quarantine once the configured threshold is reached."""
+        env_id = fault.env_id
+        if env_id is None or env_id == self.trusted_env.id:
+            return
+        env = self.envs.get(env_id)
+        if env is None or env_id in self.quarantined:
+            return
+        count = self.fault_counts.get(env_id, 0) + 1
+        self.fault_counts[env_id] = count
+        if self.fault_policy != "quarantine" or \
+                count < self.quarantine_threshold:
+            return
+        self.quarantined[env_id] = f"{count} contained fault(s), " \
+                                   f"last: fault[{fault.kind}]"
+        self.backend.quarantine(env)
+        if self.tracer is not None:
+            self.tracer.instant("contain", "contain:quarantine",
+                                env=env.name, fault=str(fault),
+                                fault_kind=fault.kind, faults=count)
 
     # -------------------------------------------------------------- transfer
 

@@ -21,22 +21,54 @@ class Fault(SimError):
     """A hardware-detected access violation.
 
     In the paper, a fault "stops the execution of the closure and aborts
-    the program".  The machine catches :class:`Fault` at its top level,
-    records a diagnostic trace, and terminates the simulated program.
+    the program".  That abort is the default ``fault_policy``; under the
+    ``kill-goroutine`` / ``quarantine`` policies the scheduler contains
+    the fault at the trust boundary instead (kills the offending
+    goroutine, unwinds to the outermost Prolog frame) and the program
+    keeps running.
 
     Attributes:
         kind: one of ``read``, ``write``, ``exec``, ``pkey``,
-            ``non-present``, ``syscall``, ``call-site``, ``escalation``.
+            ``non-present``, ``syscall``, ``call-site``, ``escalation``,
+            ``denied-entry``.
         addr: the faulting virtual address, if the fault is memory-related.
         detail: human-readable root cause.
+        env_id / env_name: the execution environment the fault is
+            attributed to (filled at the raise site where known, else
+            stamped by the scheduler when it catches the fault).
+        pkg: offending package, where the raise site can name one.
     """
 
-    def __init__(self, kind: str, detail: str, addr: int | None = None):
+    def __init__(self, kind: str, detail: str, addr: int | None = None,
+                 env_id: int | None = None, env_name: str = "",
+                 pkg: str = ""):
         self.kind = kind
         self.addr = addr
         self.detail = detail
+        self.env_id = env_id
+        self.env_name = env_name
+        self.pkg = pkg
         location = f" at {addr:#x}" if addr is not None else ""
         super().__init__(f"fault[{kind}]{location}: {detail}")
+
+    def attribute(self, env=None, pkg: str = "") -> "Fault":
+        """Fill unset attribution fields; never overwrites a raise-site
+        attribution (the scheduler calls this as a catch-all)."""
+        if env is not None and self.env_id is None:
+            self.env_id = env.id
+            self.env_name = env.name
+        if pkg and not self.pkg:
+            self.pkg = pkg
+        return self
+
+    def origin(self) -> str:
+        """Human-readable source attribution for diagnostics."""
+        parts = []
+        if self.env_name:
+            parts.append(f"env {self.env_name!r}")
+        if self.pkg:
+            parts.append(f"package {self.pkg!r}")
+        return " ".join(parts) if parts else "unattributed"
 
 
 class PageFault(Fault):
@@ -71,6 +103,21 @@ class EscalationFault(Fault):
 
     def __init__(self, detail: str):
         super().__init__("escalation", detail)
+
+
+class QuarantinedFault(Fault):
+    """A Prolog (or Execute) targeted a quarantined enclosure.
+
+    Raised under the ``quarantine`` fault policy once an enclosure's
+    contained-fault count reaches the configured threshold: later
+    entries fail fast at the trust boundary instead of running the
+    compromised code again.
+    """
+
+    def __init__(self, detail: str, env_id: int | None = None,
+                 env_name: str = ""):
+        super().__init__("denied-entry", detail, env_id=env_id,
+                         env_name=env_name)
 
 
 class PolicyError(SimError):

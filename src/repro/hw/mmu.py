@@ -84,6 +84,9 @@ class MMU:
         #: Optional enforcement-event tracer, wired by the machine.
         #: Consulted only on fault paths — never on a successful access.
         self.tracer = None
+        #: Optional FaultInjector consulted per checked access (None in
+        #: normal runs, so the hot path pays one predictable branch).
+        self.inject = None
 
     def _trace_violation(self, kind: str, vaddr: int,
                          detail: str, **extra) -> None:
@@ -192,6 +195,8 @@ class MMU:
     def _access(self, ctx: TranslationContext, vaddr: int,
                 kind: str) -> tuple[PTE, bytearray]:
         """One checked access through the TLB; returns (pte, frame)."""
+        if self.inject is not None:
+            self.inject.on_access(vaddr, kind)
         entry = ctx.tlb.get((vaddr >> PAGE_SHIFT) * 4 + _KIND_CODE[kind])
         if entry is not None:
             pte, frame, table, tgen, ept, egen = entry

@@ -108,6 +108,18 @@ class PageTable:
     def set_present_range(self, base: int, size: int, present: bool) -> int:
         return self._update_range(base, size, present=present)
 
+    def revoke_all(self) -> int:
+        """Clear the present bit of every mapping (quarantine hard-revoke
+        of a per-environment table).  Returns the PTEs updated."""
+        updated = 0
+        for vpn, pte in self._entries.items():
+            if pte.present:
+                self._entries[vpn] = replace(pte, present=False)
+                updated += 1
+        if updated:
+            self.gen += 1
+        return updated
+
     def clone(self, name: str = "") -> "PageTable":
         """Copy this table; used to derive per-environment tables."""
         table = PageTable(name)

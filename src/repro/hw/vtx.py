@@ -24,6 +24,10 @@ class ExitReason(enum.Enum):
 
     HYPERCALL = "hypercall"
     FAULT = "fault"
+    #: A guest fault intercepted and *contained* by the runtime instead
+    #: of aborting the program (``fault_policy`` != ``abort``): the same
+    #: hardware round trip as FAULT, but control returns to the guest.
+    CONTAIN = "contain"
     HLT = "hlt"
 
 

@@ -28,6 +28,7 @@ from repro.hw.pages import PAGE_SIZE
 from repro.hw.pagetable import PageTable
 from repro.hw.physmem import PhysicalMemory
 from repro.image.elf import ElfImage
+from repro.inject import FaultInjector
 from repro.isa.interp import Interpreter
 from repro.perf import PerfStats
 from repro.isa.opcodes import Hook
@@ -47,6 +48,20 @@ class MachineConfig:
     virtualize_keys: bool = False      # libmpk-style ablation (LBMPK)
     arg_rules: list[ArgRule] | None = None  # §6.5 sysfilter extension
     trace: bool = False                # enforcement-event tracer
+    #: What a fault inside an enclosure does: "abort" (paper §2.2),
+    #: "kill-goroutine" (only the offending goroutine dies), or
+    #: "quarantine" (kill + trip the enclosure's quarantine breaker).
+    fault_policy: str = "abort"
+    #: Fault-injection spec (see :mod:`repro.inject`); None disables.
+    inject: str | None = None
+    inject_seed: int = 0
+    #: Contained faults an enclosure absorbs before quarantine trips
+    #: (only meaningful under fault_policy="quarantine").
+    quarantine_threshold: int = 1
+    #: Supervised restarts per killed goroutine (0 = never respawn).
+    restart_limit: int = 0
+
+FAULT_POLICIES = ("abort", "kill-goroutine", "quarantine")
 
 
 class Machine:
@@ -56,6 +71,10 @@ class Machine:
                  config: MachineConfig | str = "baseline"):
         if isinstance(config, str):
             config = MachineConfig(backend=config)
+        if config.fault_policy not in FAULT_POLICIES:
+            raise ConfigError(
+                f"unknown fault_policy {config.fault_policy!r} "
+                f"(choose from {', '.join(FAULT_POLICIES)})")
         self.config = config
         self.image = image
         self.clock = SimClock()
@@ -110,6 +129,26 @@ class Machine:
         self.runtime = Runtime(self.mmu, self.allocator, self.scheduler,
                                self.channels, self.pkg_names)
         self.kernel.net.waker = self.scheduler.wake
+
+        # Fault containment + injection wiring.
+        self.litterbox.fault_policy = config.fault_policy
+        self.litterbox.quarantine_threshold = config.quarantine_threshold
+        self.scheduler.fault_policy = config.fault_policy
+        self.scheduler.restart_limit = config.restart_limit
+        self.scheduler.reclaim = self.kernel.reclaim_goroutine
+        self.kernel.current_gid = lambda: (
+            self.scheduler.current.id
+            if self.scheduler.current is not None else 0)
+        self.injector = None
+        if config.inject:
+            injector = FaultInjector(config.inject, seed=config.inject_seed)
+            injector.env_provider = lambda: (
+                self.scheduler.current.env.name
+                if self.scheduler.current is not None else "trusted")
+            self.injector = injector
+            self.mmu.inject = injector
+            self.kernel.inject = injector
+            self.litterbox.injector = injector
 
         self.cpu.syscall_handler = lambda cpu, nr, args: \
             self.backend.syscall(cpu, nr, args)
@@ -197,6 +236,11 @@ class Machine:
                     "violation", "violation:abort",
                     fault=str(result.fault),
                     fault_kind=getattr(result.fault, "kind", ""))
+        elif result.status == "killed":
+            # Contained: the main goroutine died but the machine did not
+            # abort; the backend already charged the containment cost.
+            self.fault = result.fault
+        result.goroutines = self.scheduler.exit_summary()
         return result
 
     # ------------------------------------------------------------------ tools
@@ -223,4 +267,26 @@ class Machine:
         """LitterBox's root-cause trace for an aborted program."""
         if self.fault is None:
             return ""
-        return f"litterbox: program aborted: {self.fault}"
+        trace = f"litterbox: program aborted: {self.fault}"
+        if self.fault.env_name or self.fault.pkg:
+            trace += f" [{self.fault.origin()}]"
+        return trace
+
+    def containment_report(self) -> dict:
+        """Everything the run's fault containment did, in one dict."""
+        lb = self.litterbox
+        report = {
+            "fault_policy": self.config.fault_policy,
+            "contained": [
+                {"kind": f.kind, "detail": f.detail, "origin": f.origin()}
+                for f in self.scheduler.contained
+            ],
+            "quarantined": {
+                lb.envs[eid].name if eid in lb.envs else str(eid): why
+                for eid, why in lb.quarantined.items()
+            },
+            "goroutines": self.scheduler.exit_summary(),
+        }
+        if self.injector is not None:
+            report["injector"] = self.injector.report()
+        return report

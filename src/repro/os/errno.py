@@ -4,6 +4,7 @@ from __future__ import annotations
 
 EPERM = 1
 ENOENT = 2
+EINTR = 4
 EBADF = 9
 EAGAIN = 11
 ENOMEM = 12

@@ -75,6 +75,16 @@ class Kernel:
         self.syscall_log: list[int] = []
         #: Optional enforcement-event tracer, wired by the machine.
         self.tracer = None
+        #: Optional FaultInjector consulted at every kernel entry.
+        self.inject = None
+        #: Which goroutine last used each fd (fd -> gid); drives
+        #: ``reclaim_goroutine`` when the scheduler kills one.
+        self.fd_owner: dict[int, int] = {}
+        #: Callable returning the running goroutine's id (machine-wired).
+        self.current_gid: Callable[[], int] | None = None
+        #: Bytes sent to the peer of a connected socket before it is
+        #: reclaimed (e.g. an HTTP 500 so the client is not left hanging).
+        self.reclaim_notice: bytes | None = None
 
         self._handlers: dict[int, Callable] = {
             sc.SYS_READ: self._sys_read,
@@ -143,6 +153,14 @@ class Kernel:
         self.clock.charge(COSTS.HOST_SYSCALL)
         self.clock.tick("syscalls")
         self.syscall_log.append(nr)
+        if self.inject is not None:
+            forced = self.inject.on_syscall(nr)
+            if forced is not None:
+                if self.tracer is not None:
+                    self.tracer.instant("filter", "filter:inject",
+                                        mechanism="injector", nr=nr,
+                                        errno=-forced)
+                return forced
         if self.seccomp_filter is not None:
             data = encode_seccomp_data(nr, args, pkru)
             ret, executed = self.seccomp_filter.run(data)
@@ -210,15 +228,52 @@ class Kernel:
         fd = self._next_fd
         self._next_fd += 1
         self._fds[fd] = obj
+        if self.current_gid is not None:
+            self.fd_owner[fd] = self.current_gid()
         return fd
+
+    def _touch_fd(self, fd: int) -> None:
+        """Transfer fd ownership to the goroutine actually using it.
+
+        A server accepts in one goroutine and hands the connection to a
+        handler goroutine; reclaim must follow the handler, not the
+        acceptor.
+        """
+        if self.current_gid is not None and fd in self.fd_owner:
+            self.fd_owner[fd] = self.current_gid()
 
     def fd_object(self, fd: int) -> object | None:
         return self._fds.get(fd)
+
+    def reclaim_goroutine(self, gid: int) -> int:
+        """Close every fd owned by a killed goroutine (containment step).
+
+        Connected sockets get ``reclaim_notice`` (if set) pushed to the
+        peer before closing, so a client mid-request sees an error
+        response instead of a silent hang.  Returns the number of fds
+        reclaimed; each costs one in-kernel close.
+        """
+        owned = [fd for fd, owner in self.fd_owner.items() if owner == gid]
+        for fd in owned:
+            obj = self._fds.pop(fd, None)
+            del self.fd_owner[fd]
+            if obj is None:
+                continue
+            if isinstance(obj, SocketState):
+                if obj.endpoint is not None:
+                    if self.reclaim_notice and obj.kind == "connected":
+                        obj.endpoint.send(self.reclaim_notice)
+                    obj.endpoint.close()
+                if obj.listener is not None:
+                    self.net.unbind(obj.listener.port)
+            self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return len(owned)
 
     # -- io ------------------------------------------------------------------
 
     def _sys_read(self, ctx, args) -> int:
         fd, buf, count = args[0], args[1], args[2]
+        self._touch_fd(fd)
         obj = self._fds.get(fd)
         if obj is None:
             return -errno.EBADF
@@ -241,6 +296,7 @@ class Kernel:
             self.stdout.extend(data)
             self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
             return count
+        self._touch_fd(fd)
         obj = self._fds.get(fd)
         if obj is None:
             return -errno.EBADF
@@ -255,6 +311,7 @@ class Kernel:
 
     def _sys_close(self, ctx, args) -> int:
         fd = args[0]
+        self.fd_owner.pop(fd, None)
         obj = self._fds.pop(fd, None)
         if obj is None:
             return -errno.EBADF
@@ -450,6 +507,7 @@ class Kernel:
         return len(result)
 
     def _sys_sendto(self, ctx, args) -> int:
+        self._touch_fd(args[0])
         sock = self._sock(args[0])
         if isinstance(sock, int):
             return sock
@@ -458,6 +516,7 @@ class Kernel:
         return self._send_common(ctx, sock, args[1], args[2])
 
     def _sys_recvfrom(self, ctx, args) -> int:
+        self._touch_fd(args[0])
         sock = self._sock(args[0])
         if isinstance(sock, int):
             return sock

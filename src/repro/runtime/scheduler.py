@@ -13,7 +13,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.enclosure import Environment
-from repro.errors import Fault, MachineHalt, WouldBlock
+from repro.errors import Fault, MachineHalt, QuarantinedFault, WouldBlock
 from repro.hw.clock import COSTS
 from repro.hw.cpu import CPU, StackSegment
 from repro.isa.interp import GoroutineExit, Interpreter
@@ -34,15 +34,24 @@ class Goroutine:
     stacks: dict[int, StackSegment] = field(default_factory=dict)
     state: str = "new"  # new | runnable | blocked | done
     wait_key: tuple | None = None
+    #: How the goroutine ended: "" while live, then "ran" (exited
+    #: normally) or "killed-by-fault" (containment).
+    exit: str = ""
+    #: The contained fault that killed this goroutine, if any.
+    fault: Fault | None = None
+    #: Supervised-restart generation (see ``Scheduler.restart_limit``).
+    restarts: int = 0
 
 
 @dataclass
 class RunResult:
     """Outcome of a scheduler drive."""
 
-    status: str              # exited | halted | faulted | idle
+    status: str              # exited | halted | faulted | killed | idle
     exit_code: int = 0
     fault: Fault | None = None
+    #: Per-goroutine exit summary (filled in by ``Machine._finish``).
+    goroutines: dict | None = None
 
 
 class Scheduler:
@@ -61,6 +70,17 @@ class Scheduler:
         self.main: Goroutine | None = None
         #: Optional enforcement-event tracer, wired by the machine.
         self.tracer = None
+        #: Fault policy: "abort" (paper §2.2), "kill-goroutine", or
+        #: "quarantine" (kill + trip the enclosure's quarantine breaker).
+        self.fault_policy = "abort"
+        #: Optional kernel callback ``reclaim(gid) -> int`` that closes
+        #: the dead goroutine's fds; wired by the machine.
+        self.reclaim = None
+        #: Faults contained (not aborted) so far, in order.
+        self.contained: list[Fault] = []
+        #: How many times a killed goroutine may be respawned at its
+        #: original entry (supervised restart, 0 = never).
+        self.restart_limit = 0
         self._next_id = 1
 
     # -- creation ------------------------------------------------------------
@@ -124,27 +144,28 @@ class Scheduler:
             if goroutine.state != "runnable":
                 continue
             self.current = goroutine
-            if goroutine.activation is None:
-                goroutine.activation = self._first_activation(goroutine)
-            self.cpu.restore_activation(goroutine.activation)
-            tracer = self.tracer
-            if tracer is None:
-                self.cpu.clock.charge(COSTS.SCHED_SWITCH)
-                # Execute hook: resume in the goroutine's own environment.
-                self.litterbox.execute(self.cpu, goroutine)
-            else:
-                span = tracer.begin("switch",
-                                    f"execute:{goroutine.env.name}",
-                                    env=goroutine.env.name,
-                                    goroutine=goroutine.id)
-                self.cpu.clock.charge(COSTS.SCHED_SWITCH)
-                self.litterbox.execute(self.cpu, goroutine)
-                tracer.set_env(goroutine.env.name, at=span.t0)
-                tracer.end(span)
-            goroutine.state = "running"
-
             slice_steps = 0
             try:
+                if goroutine.activation is None:
+                    goroutine.activation = self._first_activation(goroutine)
+                self.cpu.restore_activation(goroutine.activation)
+                tracer = self.tracer
+                if tracer is None:
+                    self.cpu.clock.charge(COSTS.SCHED_SWITCH)
+                    # Execute hook: resume in the goroutine's own
+                    # environment.
+                    self.litterbox.execute(self.cpu, goroutine)
+                else:
+                    span = tracer.begin("switch",
+                                        f"execute:{goroutine.env.name}",
+                                        env=goroutine.env.name,
+                                        goroutine=goroutine.id)
+                    self.cpu.clock.charge(COSTS.SCHED_SWITCH)
+                    self.litterbox.execute(self.cpu, goroutine)
+                    tracer.set_env(goroutine.env.name, at=span.t0)
+                    tracer.end(span)
+                goroutine.state = "running"
+
                 while slice_steps < self.TIME_SLICE:
                     self.interp.step(self.cpu)
                     slice_steps += 1
@@ -157,21 +178,114 @@ class Scheduler:
                 self._park(goroutine, block.wait_key)
             except GoroutineExit:
                 goroutine.state = "done"
+                goroutine.exit = "ran"
                 goroutine.activation = None
                 self.litterbox.release_stacks(goroutine)
                 if stop_when_main_exits and goroutine is self.main:
                     return RunResult("exited", 0)
             except MachineHalt as halt:
                 goroutine.state = "done"
+                goroutine.exit = "ran"
                 return RunResult("halted", halt.exit_code)
             except Fault as fault:
-                # "A fault stops the execution of the closure and aborts
-                # the program" (§2.2).
-                goroutine.state = "done"
-                return RunResult("faulted", fault=fault)
+                result = self._on_fault(goroutine, fault,
+                                        stop_when_main_exits)
+                if result is not None:
+                    return result
             if total > max_total_steps:
-                raise Fault("exec", "scheduler exceeded step budget")
+                starved = sorted(g.id for g in self.goroutines
+                                 if g.state in ("runnable", "running"))
+                raise Fault(
+                    "exec",
+                    "scheduler exceeded step budget of "
+                    f"{max_total_steps} with runnable goroutines "
+                    f"{starved} still starved")
         return RunResult("idle")
+
+    # -- fault containment -----------------------------------------------------
+
+    def _on_fault(self, goroutine: Goroutine,
+                  fault: Fault, stop_when_main_exits: bool) -> RunResult | None:
+        """Apply the machine's fault policy to a fault raised while
+        ``goroutine`` was running.
+
+        Under ``abort`` (the paper's §2.2 semantics: "a fault stops the
+        execution of the closure and aborts the program") the whole run
+        ends.  Otherwise the fault is *contained*: the goroutine's
+        environment stack is unwound back to its base frame
+        (Epilog-on-fault), the backend charges the hardware cost of
+        fielding the fault, the kernel reclaims the goroutine's fds, and
+        only the offending goroutine dies.
+        """
+        fault.attribute(goroutine.env)
+        goroutine.fault = fault
+        if self.fault_policy == "abort":
+            goroutine.state = "done"
+            goroutine.exit = "killed-by-fault"
+            return RunResult("faulted", fault=fault)
+
+        lb = self.litterbox
+        fault_env = goroutine.env.name
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("contain", f"contain:{fault_env}",
+                                env=fault_env, goroutine=goroutine.id,
+                                fault=fault.kind)
+        # 1. Unwind nested Prolog frames back to the goroutine's base
+        #    environment (Epilog-on-fault).
+        depth = lb.unwind_on_fault(self.cpu, goroutine)
+        # 2. The backend pays for fielding the fault (signal delivery /
+        #    VM exit / kernel trap) without tearing the machine down.
+        lb.backend.contained_fault(self.cpu)
+        # 3. Count it against the faulting enclosure; a QuarantinedFault
+        #    is the quarantine *working*, not a fresh violation.
+        if not isinstance(fault, QuarantinedFault):
+            lb.note_contained_fault(fault)
+        # 4. The kernel reclaims the dead goroutine's fds and wake keys.
+        reclaimed = self.reclaim(goroutine.id) if self.reclaim else 0
+        goroutine.state = "done"
+        goroutine.exit = "killed-by-fault"
+        goroutine.activation = None
+        lb.release_stacks(goroutine)
+        self.contained.append(fault)
+        if span is not None:
+            span.args.update(detail=fault.detail, unwound=depth,
+                             reclaimed_fds=reclaimed)
+            tracer.end(span)
+
+        if goroutine.restarts < self.restart_limit:
+            fresh = self.spawn(goroutine.entry, goroutine.args,
+                               env=goroutine.env)
+            fresh.restarts = goroutine.restarts + 1
+            if goroutine is self.main:
+                self.main = fresh
+            if tracer is not None:
+                tracer.instant("contain", "contain:restart",
+                               env=fault_env, goroutine=fresh.id,
+                               generation=fresh.restarts)
+            return None
+        if goroutine is self.main and stop_when_main_exits:
+            return RunResult("killed", 1, fault)
+        return None
+
+    def exit_summary(self) -> dict[int, dict]:
+        """Per-goroutine end-of-run report: how each one ended up."""
+        summary: dict[int, dict] = {}
+        for g in self.goroutines:
+            if g.state == "done":
+                state = g.exit or "ran"
+            elif g.state == "blocked":
+                state = "parked"
+            else:
+                state = g.state  # new | runnable | running
+            entry = {"state": state, "env": g.env.name}
+            if g.fault is not None:
+                entry["fault"] = f"{g.fault.kind}: {g.fault.detail}"
+            if g.restarts:
+                entry["restarts"] = g.restarts
+            summary[g.id] = entry
+        return summary
 
     # -- inspection -----------------------------------------------------------
 

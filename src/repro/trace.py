@@ -58,7 +58,7 @@ from repro.hw.clock import SimClock
 #: Categories an event may carry; also the category axis of the
 #: per-environment breakdown (``violation`` events are zero-duration).
 CATEGORIES = ("switch", "syscall", "transfer", "filter", "vm_exit",
-              "violation")
+              "violation", "contain")
 
 #: Chrome trace-event phases the exporter emits.
 _PHASES = ("X", "i", "M")
@@ -218,9 +218,11 @@ class Tracer:
         """Per-environment sim-time breakdown.
 
         Returns ``{env: {"total_ns", "switch_ns", "syscall_ns",
-        "transfer_ns", "compute_ns", "counts": {...}}}`` where
-        ``syscall_ns`` folds in VM-exit time accumulated at top level
-        and ``compute_ns`` is gross minus all enforcement categories.
+        "transfer_ns", "contain_ns", "compute_ns", "counts": {...}}}``
+        where ``syscall_ns`` folds in VM-exit time accumulated at top
+        level, ``contain_ns`` is time spent unwinding/reclaiming after
+        contained faults, and ``compute_ns`` is gross minus all
+        enforcement categories.
         """
         now = self.clock.now_ns
         gross = dict(self._gross)
@@ -248,6 +250,7 @@ class Tracer:
                 "switch_ns": cats["switch"],
                 "syscall_ns": cats["syscall"] + cats["vm_exit"],
                 "transfer_ns": cats["transfer"],
+                "contain_ns": cats["contain"],
                 "compute_ns": max(0.0, total - enforcement),
                 "counts": env_counts,
             }
@@ -276,6 +279,7 @@ class Tracer:
                 f"(n={counts.get('transfer', 0)}) "
                 f"vm-exits={counts.get('vm_exit', 0)} "
                 f"violations={counts.get('violation', 0)} "
+                f"contained={counts.get('contain', 0)} "
                 f"compute {pct(row['compute_ns'], total)}")
         return lines
 

@@ -176,8 +176,11 @@ def build_fasthttp_image():
     return link(objects, entry="main.$start")
 
 
-def run_fasthttp_server(backend: str) -> HttpDriver:
-    machine = Machine(build_fasthttp_image(), MachineConfig(backend=backend))
+def run_fasthttp_server(backend: str,
+                        config: MachineConfig | None = None) -> HttpDriver:
+    if config is None:
+        config = MachineConfig(backend=backend)
+    machine = Machine(build_fasthttp_image(), config)
     driver = HttpDriver(machine, port=PORT)
     driver.start()
     return driver

@@ -18,6 +18,12 @@ from repro.os.net import LOCALHOST
 PORT = 8080
 PAGE_SIZE_BYTES = 13 * 1024
 
+#: What the kernel sends on a connection reclaimed from a goroutine
+#: killed by fault containment: the client sees a clean error response
+#: instead of a hung socket.
+ERROR_RESPONSE = (b"HTTP/1.1 500 Internal Server Error\r\n"
+                  b"Content-Length: 0\r\nConnection: close\r\n\r\n")
+
 HTTP_SOURCE = """
 package http
 
@@ -205,6 +211,7 @@ class HttpDriver:
     def __init__(self, machine: Machine, port: int = PORT):
         self.machine = machine
         self.port = port
+        machine.kernel.reclaim_notice = ERROR_RESPONSE
 
     def start(self) -> None:
         """Run the program until the server blocks on accept."""
@@ -241,8 +248,11 @@ class HttpDriver:
         return requests / elapsed_s
 
 
-def run_http_server(backend: str) -> HttpDriver:
-    machine = Machine(build_http_image(), MachineConfig(backend=backend))
+def run_http_server(backend: str,
+                    config: MachineConfig | None = None) -> HttpDriver:
+    if config is None:
+        config = MachineConfig(backend=backend)
+    machine = Machine(build_http_image(), config)
     driver = HttpDriver(machine)
     driver.start()
     return driver

@@ -322,9 +322,12 @@ class WikiDriver(HttpDriver):
 
 
 def run_wiki(backend: str,
-             pages: dict[str, str] | None = None
+             pages: dict[str, str] | None = None,
+             config: MachineConfig | None = None
              ) -> tuple[WikiDriver, PostgresService]:
-    machine = Machine(build_wiki_image(), MachineConfig(backend=backend))
+    if config is None:
+        config = MachineConfig(backend=backend)
+    machine = Machine(build_wiki_image(), config)
     postgres = attach_postgres(machine.kernel.net,
                                pages or {"home": "welcome to the wiki"})
     driver = WikiDriver(machine, port=PORT)

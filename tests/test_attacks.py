@@ -104,3 +104,32 @@ class TestStudyMatrix:
             elif report.protection != "naive":
                 assert not report.exfiltrated
         assert len(reports) == 12
+
+
+class TestStudyUnderQuarantine:
+    """Satellite: the §6.5 matrix holds under fault containment — every
+    attack is still blocked AND the machine survives each one."""
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_attacks_blocked_and_machine_survives(self, backend):
+        reports = security_study(backend, fault_policy="quarantine")
+        assert len(reports) == 12
+        for report in reports:
+            # Containment never weakens enforcement.
+            if report.protection == "unprotected":
+                assert report.exfiltrated or report.name == "django-clone"
+            elif report.protection != "naive":
+                assert not report.exfiltrated, report.row()
+            # And it never kills the machine: the faults that aborted
+            # under the default policy are contained here.
+            assert report.survived, report.row()
+
+    def test_blocked_attacks_die_under_abort_policy(self):
+        """Contrast case: under the paper's abort policy the blocked
+        attacks take the whole program down (survived=False)."""
+        abort = security_study("mpk", fault_policy="abort")
+        blocked = [r for r in abort if r.blocked_by is not None]
+        assert blocked
+        assert all(not r.survived for r in blocked)
+        clean = [r for r in abort if r.blocked_by is None]
+        assert all(r.survived for r in clean)

@@ -81,3 +81,48 @@ class TestPylite:
         assert main(["py", str(mod), str(app),
                      "--mode", "conservative"]) == 1
         assert "aborted" in capsys.readouterr().err
+
+
+class TestContainmentFlags:
+    def test_fault_policy_keeps_exit_code_but_not_abort(self, tmp_path,
+                                                        capsys):
+        bad = tmp_path / "main.go"
+        bad.write_text(
+            "package main\n\nfunc main() {\n"
+            '    f := with "none" func() int { return syscall(102) }\n'
+            "    println(f())\n}\n")
+        assert main(["run", str(bad), "--backend", "mpk",
+                     "--fault-policy", "kill-goroutine"]) == 1
+        err = capsys.readouterr().err
+        assert "contained" in err
+        assert "aborted" not in err
+
+    def test_inject_entry_denial(self, golite_files, capsys):
+        assert main(["run", *golite_files, "--backend", "mpk",
+                     "--inject", "entry@main_1", "--seed", "3"]) == 1
+        err = capsys.readouterr().err
+        assert "denied-entry" in err
+
+    def test_macro_smoke_with_injection(self, tmp_path, capsys):
+        report = tmp_path / "containment.json"
+        code = main(["macro", "--backend", "mpk", "--requests", "12",
+                     "--fault-policy", "quarantine",
+                     "--quarantine-threshold", "1000",
+                     "--inject", "pkey@main_1:every=3", "--seed", "7",
+                     "--expect-contained", "3",
+                     "--report", str(report)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "contained faults" in err
+        import json
+        data = json.loads(report.read_text())
+        assert data["ok"] + data["errors"] == 12
+        assert len(data["contained"]) >= 3
+        assert data["injector"]["seed"] == 7
+
+    def test_macro_expect_contained_failure(self, capsys):
+        code = main(["macro", "--backend", "mpk", "--requests", "2",
+                     "--fault-policy", "quarantine",
+                     "--expect-contained", "1"])
+        assert code == 1
+        assert "expected" in capsys.readouterr().err
