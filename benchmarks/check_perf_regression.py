@@ -1,0 +1,107 @@
+"""CI perf-regression smoke against the committed wall-clock baseline.
+
+Re-runs the Table 2 macro benchmarks (the harness's hot loop) and
+compares the summed wall-clock time against a committed entry in
+``BENCH_interp.json`` (default: ``pr4``, the hot-boundary fast-path
+baseline).  Fails when wall time regresses more than ``--threshold``
+percent — generous by default because CI machines are slower and
+noisier than the machine that recorded the baseline.
+
+Two checks ride along that are *not* noise-prone and fail hard:
+
+* every simulated value (bild sim-ns, HTTP/FastHTTP sim-req/s) must be
+  bit-identical to the committed entry — wall-clock optimizations are
+  forbidden from touching the cost model;
+* the run must complete at all (a hang or fault fails the job).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py \
+        --baseline pr4 --threshold 30 --report perf-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BENCH_FILE = REPO_ROOT / "BENCH_interp.json"
+
+#: The simulated-value key per Table 2 row prefix (see baseline.py).
+SIM_KEYS = {"bild": "sim_ns", "HTTP": "sim_req_per_s",
+            "FastHTTP": "sim_req_per_s"}
+
+
+def _sim_value(row_name: str, row: dict):
+    return row.get(SIM_KEYS[row_name.split("/", 1)[0]])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="pr4",
+                        help="label of the committed BENCH_interp.json entry")
+    parser.add_argument("--threshold", type=float, default=30.0,
+                        help="max allowed wall-clock regression, percent")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=15)
+    parser.add_argument("--report", default="perf-regression-report.json",
+                        help="where to write the JSON report artifact")
+    args = parser.parse_args(argv)
+
+    committed = json.loads(BENCH_FILE.read_text())
+    if args.baseline not in committed:
+        print(f"FAIL: no committed entry {args.baseline!r} in {BENCH_FILE}")
+        return 1
+    baseline = committed[args.baseline]
+    baseline_total = baseline["table2_total_wall_s"]
+    baseline_rows = baseline["table2"]
+
+    from benchmarks.baseline import bench_table2
+    print(f"== perf-regression smoke vs [{args.baseline}] ==")
+    measured_rows = bench_table2(args.repeats, args.requests)
+    measured_total = round(
+        sum(row["wall_s"] for row in measured_rows.values()), 4)
+
+    ratio = measured_total / baseline_total
+    limit = 1.0 + args.threshold / 100.0
+    sim_mismatches = {
+        name: {"expected": _sim_value(name, baseline_rows[name]),
+               "measured": _sim_value(name, row)}
+        for name, row in measured_rows.items()
+        if name in baseline_rows
+        and _sim_value(name, row) != _sim_value(name, baseline_rows[name])
+    }
+
+    failed = ratio > limit or bool(sim_mismatches)
+    report = {
+        "baseline_label": args.baseline,
+        "baseline_total_wall_s": baseline_total,
+        "measured_total_wall_s": measured_total,
+        "ratio": round(ratio, 3),
+        "threshold_pct": args.threshold,
+        "sim_mismatches": sim_mismatches,
+        "rows": measured_rows,
+        "status": "fail" if failed else "ok",
+    }
+    pathlib.Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"  wall: {measured_total:.3f}s vs committed "
+          f"{baseline_total:.3f}s  (x{ratio:.2f}, limit x{limit:.2f})")
+    if sim_mismatches:
+        print(f"FAIL: simulated values diverged from the committed "
+              f"baseline: {sorted(sim_mismatches)}")
+    if ratio > limit:
+        print(f"FAIL: wall-clock regressed more than {args.threshold:.0f}%")
+    if not failed:
+        print("  ok: wall clock within budget, simulated values identical")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

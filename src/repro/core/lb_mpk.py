@@ -56,6 +56,10 @@ class MPKBackend(Backend):
         self.key_of_meta: dict[int, int] = {}
         #: Meta ids that share the overflow key under virtualization.
         self._virtualized_metas: set[int] = set()
+        #: Environment ids whose meta is virtualized — precomputed at
+        #: Init so the per-switch check is one frozenset probe instead
+        #: of a clustering lookup.
+        self._virt_env_ids: frozenset[int] = frozenset()
         self._owner_key_cache: dict[str, int] = {}
 
     # ------------------------------------------------------------------ init
@@ -96,6 +100,11 @@ class MPKBackend(Backend):
         # One PKRU value per environment.
         for env in litterbox.envs.values():
             env.pkru = self._pkru_for(env)
+        self._virt_env_ids = frozenset(
+            env.id for env in litterbox.envs.values()
+            if env.spec is not None
+            and litterbox.clustering.meta_of.get(env.spec.pseudo_package)
+            in self._virtualized_metas)
 
         # One seccomp program for the whole application.
         env_masks: dict[int, frozenset[int]] = {}
@@ -146,11 +155,8 @@ class MPKBackend(Backend):
         # (regression-guarded by tests/test_tlb.py).
         litterbox = self.litterbox
         litterbox.clock.charge(COSTS.VERIF_MPK)
-        if env.spec is not None:
-            meta_id = litterbox.clustering.meta_of.get(
-                env.spec.pseudo_package)
-            if meta_id in self._virtualized_metas:
-                self._retag_virtualized(env)
+        if env.id in self._virt_env_ids:
+            self._retag_virtualized(env)
         cpu.write_pkru(env.pkru)
 
     def _retag_virtualized(self, env: Environment) -> None:

@@ -63,6 +63,19 @@ class LitterBox:
         self.kernel = kernel
         self.mmu = mmu
         self.clock = clock
+        self.perf = mmu.perf
+        #: Transition-cache master switch (machine-wired).  The memo
+        #: itself records *approved* switch decisions, which depend only
+        #: on static post-Init state (the ``.verif`` list, environment
+        #: views, syscall sets) — so one program-wide dict serves every
+        #: goroutine, including the fresh handler goroutine each HTTP
+        #: request spawns.  The per-goroutine half of a transition (the
+        #: split-stack binding) is memoized separately in
+        #: ``Goroutine.stacks``.  Prolog entries are keyed
+        #: ``(encl_id, from_env_id, call_site) -> target env``; Epilog
+        #: entries ``call_site -> True`` (disjoint key shapes).
+        self.transition_cache_enabled = True
+        self._trans_cache: dict = {}
         self.image: ElfImage | None = None
         self.trusted_env = make_trusted_environment()
         self.envs: dict[int, Environment] = {
@@ -135,6 +148,11 @@ class LitterBox:
 
     # -------------------------------------------------------------- switches
 
+    def invalidate_transitions(self) -> None:
+        """Drop every memoized transition (quarantine and
+        contained-fault unwind call this)."""
+        self._trans_cache.clear()
+
     def _verify_call_site(self, call_site: int, hook: Hook) -> None:
         """Check the LBCALL site against the `.verif` list (in super)."""
         registered = self.verif.get(call_site)
@@ -151,13 +169,29 @@ class LitterBox:
             span = tracer.begin("switch", "prolog", call_site=call_site,
                                 backend=self.backend.name)
         try:
-            self._verify_call_site(call_site, Hook.PROLOG)
-            target = self.env(encl_id)
             current = goroutine.env
-            if not target.is_subset_of(current):
-                raise EscalationFault(
-                    f"switch from {current.name!r} to less restrictive "
-                    f"environment {target.name!r}").attribute(current)
+            target = None
+            cache = self._trans_cache if self.transition_cache_enabled \
+                else None
+            if cache is not None:
+                target = cache.get((encl_id, current.id, call_site))
+            if target is not None:
+                # This exact transition (site, from-env, to-env) was
+                # approved before and no invalidation happened since:
+                # skip the call-site verification and the subset check.
+                # Quarantine is re-checked below on every entry, and a
+                # denied transition is never cached.
+                self.perf.trans_hits += 1
+            else:
+                self._verify_call_site(call_site, Hook.PROLOG)
+                target = self.env(encl_id)
+                if not target.is_subset_of(current):
+                    raise EscalationFault(
+                        f"switch from {current.name!r} to less restrictive "
+                        f"environment {target.name!r}").attribute(current)
+                if cache is not None:
+                    self.perf.trans_misses += 1
+                    cache[(encl_id, current.id, call_site)] = target
             if self.quarantined and encl_id in self.quarantined:
                 raise QuarantinedFault(
                     f"enclosure {target.name!r} is quarantined "
@@ -197,7 +231,15 @@ class LitterBox:
                                 env=goroutine.env.name, call_site=call_site,
                                 backend=self.backend.name)
         try:
-            self._verify_call_site(call_site, Hook.EPILOG)
+            cache = self._trans_cache if self.transition_cache_enabled \
+                else None
+            if cache is not None and call_site in cache:
+                self.perf.trans_hits += 1
+            else:
+                self._verify_call_site(call_site, Hook.EPILOG)
+                if cache is not None:
+                    self.perf.trans_misses += 1
+                    cache[call_site] = True
             if not goroutine.env_stack:
                 raise Fault("exec", "Epilog without a matching Prolog")
             previous, fp, sp, stack = goroutine.env_stack.pop()
@@ -232,6 +274,9 @@ class LitterBox:
         Prolog frame, restoring the base environment's stack, frame
         pointer, and hardware restrictions (PKRU / page table) exactly
         as a stack of Epilogs would.  Returns the frames unwound."""
+        # A fault mid-switch may have left memoized transition state
+        # that no longer reflects reality; drop all of it.
+        self.invalidate_transitions()
         depth = len(goroutine.env_stack)
         if depth == 0:
             return 0
@@ -260,6 +305,13 @@ class LitterBox:
         self.quarantined[env_id] = f"{count} contained fault(s), " \
                                    f"last: fault[{fault.kind}]"
         self.backend.quarantine(env)
+        # Revocation must also revoke every fast path: memoized
+        # transitions and seccomp verdicts could otherwise replay
+        # decisions made before the quarantine (the TLB is already
+        # handled: MPK re-checks keys per access, VTX/LWC revoke_all
+        # bumps the table generation).
+        self.invalidate_transitions()
+        self.kernel.flush_verdicts()
         if self.tracer is not None:
             self.tracer.instant("contain", "contain:quarantine",
                                 env=env.name, fault=str(fault),

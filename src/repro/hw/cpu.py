@@ -68,6 +68,15 @@ class CPU:
             raise ConfigError("operand stack underflow (codegen bug)")
         return self.operands.pop()
 
+    def pop2(self) -> tuple[int, int]:
+        """Pop ``b`` then ``a`` with one bounds check; returns ``(a, b)``
+        (the binary-op operand order)."""
+        ops = self.operands
+        if len(ops) < 2:
+            raise ConfigError("operand stack underflow (codegen bug)")
+        b = ops.pop()
+        return ops.pop(), b
+
     def popn(self, count: int) -> list[int]:
         if count == 0:
             return []

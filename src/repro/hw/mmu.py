@@ -53,6 +53,10 @@ _WORD_FIT = PAGE_SIZE - WORD_SIZE
 KIND_R, KIND_W, KIND_X = 0, 1, 2
 _KIND_CODE = {"r": KIND_R, "w": KIND_W, "x": KIND_X}
 
+#: Permission bit required for each access kind (module-level so
+#: ``_walk`` doesn't rebuild the mapping per call).
+_NEEDED_PERM = {"r": Perm.R, "w": Perm.W, "x": Perm.X}
+
 
 @dataclass
 class TranslationContext:
@@ -120,7 +124,7 @@ class MMU:
                                   access=kind, table=ctx.page_table.name)
             raise PageFault(kind, f"user access to supervisor page {vaddr:#x}",
                             addr=vaddr)
-        needed = {"r": Perm.R, "w": Perm.W, "x": Perm.X}[kind]
+        needed = _NEEDED_PERM[kind]
         if not pte.perms & needed:
             self._trace_violation("page-fault", vaddr, "permission denied",
                                   access=kind, perms=pte.perms.label())
@@ -294,14 +298,35 @@ class MMU:
 
     # -- word-granular helpers (the ISA operates on 64-bit words) --------
 
+    # The word/byte helpers below open-code the TLB-hit path of
+    # :meth:`_access` (same tag revalidation, same per-access PKRU
+    # check with the AD/WD bit tests of :func:`pkru_allows_read` /
+    # :func:`pkru_allows_write` inlined).  Any miss, mismatch, injector,
+    # or denial falls back to ``_access``, which repeats the checks and
+    # owns every fault/trace/counter slow path — so enforcement and
+    # observable faults are byte-for-byte those of the shared path, and
+    # only successful hits are short-circuited.
+
     def read_word(self, ctx: TranslationContext, vaddr: int,
                   charge: bool = True) -> int:
-        clock = self.clock
         if charge:
-            clock.now_ns += COSTS.INSN_MEM
+            self.clock.now_ns += COSTS.INSN_MEM
         offset = vaddr & PAGE_MASK
         if offset <= _WORD_FIT:
             self.perf.word_fast += 1
+            if self.inject is None:
+                entry = ctx.tlb.get((vaddr >> PAGE_SHIFT) * 4)
+                if entry is not None:
+                    pte, frame, table, tgen, ept, egen = entry
+                    if table is ctx.page_table and tgen == table.gen \
+                            and ept is ctx.ept \
+                            and (ept is None or egen == ept.gen) \
+                            and (pte.user or not ctx.user):
+                        pkru = ctx.pkru
+                        if pkru is None or not ctx.user \
+                                or not (pkru >> (2 * pte.pkey)) & 0x1:
+                            self.perf.tlb_hits += 1
+                            return _WORD.unpack_from(frame, offset)[0]
             _, frame = self._access(ctx, vaddr, "r")
             return _WORD.unpack_from(frame, offset)[0]
         self.perf.word_slow += 1
@@ -309,12 +334,26 @@ class MMU:
 
     def write_word(self, ctx: TranslationContext, vaddr: int, value: int,
                    charge: bool = True) -> None:
-        clock = self.clock
         if charge:
-            clock.now_ns += COSTS.INSN_MEM
+            self.clock.now_ns += COSTS.INSN_MEM
         offset = vaddr & PAGE_MASK
         if offset <= _WORD_FIT:
             self.perf.word_fast += 1
+            if self.inject is None:
+                entry = ctx.tlb.get((vaddr >> PAGE_SHIFT) * 4 + 1)
+                if entry is not None:
+                    pte, frame, table, tgen, ept, egen = entry
+                    if table is ctx.page_table and tgen == table.gen \
+                            and ept is ctx.ept \
+                            and (ept is None or egen == ept.gen) \
+                            and (pte.user or not ctx.user):
+                        pkru = ctx.pkru
+                        if pkru is None or not ctx.user \
+                                or (pkru >> (2 * pte.pkey)) & 0x3 == 0:
+                            self.perf.tlb_hits += 1
+                            _UWORD.pack_into(frame, offset,
+                                             value & 0xFFFFFFFFFFFFFFFF)
+                            return
             _, frame = self._access(ctx, vaddr, "w")
             _UWORD.pack_into(frame, offset, value & 0xFFFFFFFFFFFFFFFF)
             return
@@ -325,6 +364,19 @@ class MMU:
                   charge: bool = True) -> int:
         if charge:
             self.clock.now_ns += COSTS.INSN_MEM
+        if self.inject is None:
+            entry = ctx.tlb.get((vaddr >> PAGE_SHIFT) * 4)
+            if entry is not None:
+                pte, frame, table, tgen, ept, egen = entry
+                if table is ctx.page_table and tgen == table.gen \
+                        and ept is ctx.ept \
+                        and (ept is None or egen == ept.gen) \
+                        and (pte.user or not ctx.user):
+                    pkru = ctx.pkru
+                    if pkru is None or not ctx.user \
+                            or not (pkru >> (2 * pte.pkey)) & 0x1:
+                        self.perf.tlb_hits += 1
+                        return frame[vaddr & PAGE_MASK]
         _, frame = self._access(ctx, vaddr, "r")
         return frame[vaddr & PAGE_MASK]
 
@@ -332,6 +384,20 @@ class MMU:
                    charge: bool = True) -> None:
         if charge:
             self.clock.now_ns += COSTS.INSN_MEM
+        if self.inject is None:
+            entry = ctx.tlb.get((vaddr >> PAGE_SHIFT) * 4 + 1)
+            if entry is not None:
+                pte, frame, table, tgen, ept, egen = entry
+                if table is ctx.page_table and tgen == table.gen \
+                        and ept is ctx.ept \
+                        and (ept is None or egen == ept.gen) \
+                        and (pte.user or not ctx.user):
+                    pkru = ctx.pkru
+                    if pkru is None or not ctx.user \
+                            or (pkru >> (2 * pte.pkey)) & 0x3 == 0:
+                        self.perf.tlb_hits += 1
+                        frame[vaddr & PAGE_MASK] = value & 0xFF
+                        return
         _, frame = self._access(ctx, vaddr, "w")
         frame[vaddr & PAGE_MASK] = value & 0xFF
 

@@ -17,6 +17,18 @@ Fast paths (wall-clock only; simulated costs are unchanged):
   interpreter) instead of walking a long ``if``/``elif`` chain, and the
   binary ALU ops index :data:`_ALU_FUNCS` instead of re-deciding which
   operator applies on every instruction.
+* **superinstruction fusion** — :meth:`Interpreter.register_code` runs
+  a load-time peephole pass that replaces hot adjacent pairs
+  (push+binop, load/store shapes, compare+branch; see
+  :data:`repro.isa.opcodes.FUSED_PAIRS`) with one :class:`FusedInstr`
+  dispatching a single fused handler.  The original second instruction
+  is kept at its own address, so jumps into the middle of a pair
+  execute it unfused; a pair never spans a page boundary, so the
+  per-page exec check still covers every fetched byte.  Fused handlers
+  charge exactly the two instructions' simulated costs and retire the
+  first half (pc advanced) before running the second, so faults and
+  ``WouldBlock`` retries observe the same pc and operand stack as
+  unfused execution.
 """
 
 from __future__ import annotations
@@ -27,11 +39,38 @@ from repro.hw.cpu import CPU
 from repro.hw.mmu import MMU, wrap64
 from repro.hw.pages import PAGE_SHIFT
 from repro.isa.instr import Instr
-from repro.isa.opcodes import INSTR_SIZE, NUM_OPCODES, Op
+from repro.isa.opcodes import (
+    DISPATCH_SLOTS,
+    FUSED_BASE,
+    FUSED_INDEX,
+    FUSED_PAIRS,
+    INSTR_SIZE,
+    NUM_OPCODES,
+    Op,
+)
 
 
 class GoroutineExit(SimError):
     """The current goroutine returned from its top-level function."""
+
+
+class FusedInstr:
+    """Two adjacent instructions fused into one dispatch.
+
+    ``op`` is the fused pseudo-opcode (``FUSED_BASE + pair index``);
+    ``i1``/``i2`` are the original decoded instructions and ``h1``/``h2``
+    their unfused handlers (used by the generic fused handler; the
+    specialized ones read ``i1``/``i2`` directly).
+    """
+
+    __slots__ = ("op", "i1", "i2", "h1", "h2")
+
+    def __init__(self, op: int, i1: Instr, i2: Instr, h1, h2):
+        self.op = op
+        self.i1 = i1
+        self.i2 = i2
+        self.h1 = h1
+        self.h2 = h2
 
 
 _U64 = (1 << 64) - 1
@@ -40,21 +79,51 @@ _U64 = (1 << 64) - 1
 class Interpreter:
     """Executes instructions against a :class:`CPU`."""
 
-    def __init__(self, mmu: MMU, clock: SimClock):
+    def __init__(self, mmu: MMU, clock: SimClock, fusion: bool = True):
         self.mmu = mmu
         self.clock = clock
         self.perf = mmu.perf
+        #: Whether register_code runs the superinstruction peephole.
+        self.fusion = fusion
         #: vaddr -> decoded instruction, filled by the loader.  Text pages
         #: are never writable, so the cache cannot go stale.
         self.code: dict[int, Instr] = {}
         #: Exec-validity tag of the most recently fetched code page;
         #: ``None`` forces the next fetch through the MMU.
         self._exec_tag: tuple | None = None
+        #: Architectural instructions retired by the most recent
+        #: :meth:`run_slice` call (valid even if it raised).
+        self.slice_executed = 0
         self._dispatch = _build_dispatch()
 
     def register_code(self, base: int, instrs: list[Instr]) -> None:
+        code = self.code
         for offset, instr in enumerate(instrs):
-            self.code[base + offset * INSTR_SIZE] = instr
+            code[base + offset * INSTR_SIZE] = instr
+        if not self.fusion:
+            return
+        # Peephole: overwrite the *first* address of each fusible pair
+        # with a FusedInstr.  The second instruction stays at its own
+        # address, so a jump into the middle of a pair executes it
+        # unfused.  Greedy, non-overlapping, never across a page
+        # boundary (the fused handler runs both halves under the first
+        # page's exec tag).
+        dispatch = self._dispatch
+        index = 0
+        last = len(instrs) - 1
+        while index < last:
+            a = instrs[index]
+            slot = FUSED_INDEX.get((a.op, instrs[index + 1].op))
+            if slot is None:
+                index += 1
+                continue
+            pc0 = base + index * INSTR_SIZE
+            if (pc0 >> PAGE_SHIFT) != ((pc0 + INSTR_SIZE) >> PAGE_SHIFT):
+                index += 1
+                continue
+            b = instrs[index + 1]
+            code[pc0] = FusedInstr(slot, a, b, dispatch[a.op], dispatch[b.op])
+            index += 2
 
     # -- single step -------------------------------------------------------
 
@@ -68,8 +137,10 @@ class Interpreter:
             self.code[cpu.pc] = instr
         return instr
 
-    def step(self, cpu: CPU) -> None:
-        """Execute exactly one instruction.
+    def step(self, cpu: CPU) -> int:
+        """Execute one dispatch and return how many architectural
+        instructions it covered (1, or 2 for a fused pair — the
+        scheduler budgets time slices in instructions, not dispatches).
 
         Raises :class:`WouldBlock` (instruction rolled back),
         :class:`GoroutineExit`, :class:`MachineHalt`, or a
@@ -95,6 +166,55 @@ class Interpreter:
         if handler is None:  # pragma: no cover
             raise Fault("exec", f"unknown opcode {op!r} at {pc:#x}")
         handler(self, cpu, instr)
+        return 1 if op < FUSED_BASE else 2
+
+    def run_slice(self, cpu: CPU, budget: int) -> int:
+        """Execute dispatches until at least ``budget`` architectural
+        instructions have retired; returns the count.
+
+        Semantically identical to looping :meth:`step` — this just
+        hoists the per-step attribute lookups (code cache, dispatch
+        table, perf counters) out of the loop, which is the scheduler's
+        hottest path.  The running count is also stored in
+        :attr:`slice_executed` *before* any exception propagates, so the
+        scheduler's total-instruction accounting (step-budget overrun
+        detection) stays exact when a slice ends early on a fault,
+        ``WouldBlock``, or exit.
+        """
+        executed = 0
+        code = self.code
+        dispatch = self._dispatch
+        perf = self.perf
+        op_counts = perf.op_counts
+        mmu = self.mmu
+        try:
+            while executed < budget:
+                pc = cpu.pc
+                ctx = cpu.ctx
+                tag = self._exec_tag
+                if tag is None or tag[0] != pc >> PAGE_SHIFT \
+                        or tag[1] is not ctx \
+                        or tag[2] is not ctx.page_table \
+                        or tag[3] != tag[2].gen \
+                        or tag[4] is not ctx.ept \
+                        or (tag[4] is not None and tag[5] != tag[4].gen):
+                    perf.fetch_slow += 1
+                    self._exec_tag = mmu.exec_tag(ctx, pc)
+                instr = code.get(pc)
+                if instr is None:
+                    raw = mmu.read(ctx, pc, INSTR_SIZE, charge=False)
+                    instr = Instr.decode(raw)
+                    code[pc] = instr
+                op = instr.op
+                op_counts[op] += 1
+                handler = dispatch[op]
+                if handler is None:  # pragma: no cover
+                    raise Fault("exec", f"unknown opcode {op!r} at {pc:#x}")
+                handler(self, cpu, instr)
+                executed += 1 if op < FUSED_BASE else 2
+        finally:
+            self.slice_executed = executed
+        return executed
 
     # -- helpers -------------------------------------------------------------
 
@@ -293,6 +413,17 @@ class Interpreter:
     def _op_halt(self, cpu: CPU, instr: Instr) -> None:
         raise MachineHalt(cpu.pop())
 
+    def _op_fused(self, cpu: CPU, f: FusedInstr) -> None:
+        """Generic fused pair: run both original handlers back to back.
+
+        ``h1`` retires completely (charges, effects, pc advance) before
+        ``h2`` runs, so anything ``h2`` raises — a fault, a branch
+        taken, a WouldBlock retry — sees exactly the state the unfused
+        sequence would have at the second instruction.
+        """
+        f.h1(self, cpu, f.i1)
+        f.h2(self, cpu, f.i2)
+
     # -- driving --------------------------------------------------------------
 
     def run(self, cpu: CPU, max_steps: int = 50_000_000) -> int:
@@ -304,8 +435,7 @@ class Interpreter:
         steps = 0
         try:
             while steps < max_steps:
-                self.step(cpu)
-                steps += 1
+                steps += self.step(cpu)
         except MachineHalt as halt:
             cpu.halted = True
             cpu.exit_code = halt.exit_code
@@ -401,17 +531,236 @@ def _binop(op: Op, a: int, b: int) -> int:
 def _make_alu_handler(fn):
     def handler(self, cpu, instr):
         cpu.clock.now_ns += COSTS.INSN
-        b = cpu.pop()
-        a = cpu.pop()
+        a, b = cpu.pop2()
         cpu.push(fn(a, b))
         cpu.pc += INSTR_SIZE
     return handler
 
 
+def _make_push_alu_handler(fn):
+    """Fused PUSH imm; BINOP — the pushed immediate is consumed
+    immediately, so it never round-trips through the operand stack.
+
+    The two INSN charges stay separate adds (float accumulation order
+    is part of bit-identity) and both land, with the pc on the second
+    instruction, before ``fn`` can fault (divide/modulo by zero); an
+    operand-stack underflow leaves the same stack the unfused sequence
+    would (its push is undone by its own pop b).
+    """
+    def handler(self, cpu, f):
+        clock = cpu.clock
+        clock.now_ns += COSTS.INSN
+        clock.now_ns += COSTS.INSN
+        cpu.pc += INSTR_SIZE
+        cpu.push(fn(cpu.pop(), f.i1.imm1))
+        cpu.pc += INSTR_SIZE
+    return handler
+
+
+def _make_cmp_branch_handler(fn, jnz):
+    """Fused CMP; JZ/JNZ — the 0/1 flag is branched on directly instead
+    of being pushed and re-popped.  Charges stay split (INSN before the
+    compare's pops, INSN_BRANCH after the compare retires) so even the
+    underflow path is cycle-identical to unfused."""
+    def handler(self, cpu, f):
+        cpu.clock.now_ns += COSTS.INSN
+        a, b = cpu.pop2()
+        cond = fn(a, b)
+        cpu.pc += INSTR_SIZE
+        cpu.clock.now_ns += COSTS.INSN_BRANCH
+        if (cond != 0) == jnz:
+            cpu.pc = f.i2.imm1
+        else:
+            cpu.pc += INSTR_SIZE
+    return handler
+
+
+# -- specialized fused handlers ---------------------------------------------
+# Hand-inlined bodies for the hottest fused pairs, replacing the generic
+# _op_fused's two nested handler calls.  Same contract as every fused
+# handler: simulated charges are the exact per-instruction float adds in
+# unfused order (read_word/write_word charge INSN_MEM internally), and
+# the first half retires — pc advanced, effects landed — before the
+# second half can fault or block, so interrupted pairs are observably
+# identical to unfused execution.
+
+
+def _fused_loadl_push(self, cpu, f):
+    cpu.operands.append(
+        self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * f.i1.imm1))
+    cpu.pc += INSTR_SIZE
+    cpu.clock.now_ns += COSTS.INSN
+    cpu.operands.append(f.i2.imm1)
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_loadl_loadl(self, cpu, f):
+    mmu = self.mmu
+    ctx = cpu.ctx
+    base = cpu.fp + 16
+    cpu.operands.append(mmu.read_word(ctx, base + 8 * f.i1.imm1))
+    cpu.pc += INSTR_SIZE
+    cpu.operands.append(mmu.read_word(ctx, base + 8 * f.i2.imm1))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_loadl_storel(self, cpu, f):
+    # The loaded word moves straight into the target slot; the unfused
+    # push/pop round-trip nets to the same stack at every fault point.
+    mmu = self.mmu
+    ctx = cpu.ctx
+    base = cpu.fp + 16
+    value = mmu.read_word(ctx, base + 8 * f.i1.imm1)
+    cpu.pc += INSTR_SIZE
+    mmu.write_word(ctx, base + 8 * f.i2.imm1, value)
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_loadl_add(self, cpu, f):
+    value = self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * f.i1.imm1)
+    cpu.pc += INSTR_SIZE
+    cpu.clock.now_ns += COSTS.INSN
+    cpu.push(_alu_add(cpu.pop(), value))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_push_loadl(self, cpu, f):
+    cpu.clock.now_ns += COSTS.INSN
+    cpu.operands.append(f.i1.imm1)
+    cpu.pc += INSTR_SIZE
+    cpu.operands.append(
+        self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * f.i2.imm1))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_load_push(self, cpu, f):
+    cpu.operands.append(self.mmu.read_word(cpu.ctx, cpu.pop()))
+    cpu.pc += INSTR_SIZE
+    cpu.clock.now_ns += COSTS.INSN
+    cpu.operands.append(f.i2.imm1)
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_load_store(self, cpu, f):
+    mmu = self.mmu
+    ctx = cpu.ctx
+    value = mmu.read_word(ctx, cpu.pop())
+    cpu.pc += INSTR_SIZE
+    addr = cpu.pop()
+    mmu.write_word(ctx, addr, value)
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_load_lt(self, cpu, f):
+    value = self.mmu.read_word(cpu.ctx, cpu.pop())
+    cpu.pc += INSTR_SIZE
+    cpu.clock.now_ns += COSTS.INSN
+    cpu.operands.append(1 if cpu.pop() < value else 0)
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_load_mul(self, cpu, f):
+    value = self.mmu.read_word(cpu.ctx, cpu.pop())
+    cpu.pc += INSTR_SIZE
+    cpu.clock.now_ns += COSTS.INSN
+    cpu.push(_alu_mul(cpu.pop(), value))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_add_load(self, cpu, f):
+    cpu.clock.now_ns += COSTS.INSN
+    a, b = cpu.pop2()
+    addr = _alu_add(a, b)
+    cpu.pc += INSTR_SIZE
+    cpu.operands.append(self.mmu.read_word(cpu.ctx, addr))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_add_storel(self, cpu, f):
+    cpu.clock.now_ns += COSTS.INSN
+    a, b = cpu.pop2()
+    value = _alu_add(a, b)
+    cpu.pc += INSTR_SIZE
+    self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * f.i2.imm1, value)
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_add_loadl(self, cpu, f):
+    cpu.clock.now_ns += COSTS.INSN
+    a, b = cpu.pop2()
+    cpu.operands.append(_alu_add(a, b))
+    cpu.pc += INSTR_SIZE
+    cpu.operands.append(
+        self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * f.i2.imm1))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_mul_loadl(self, cpu, f):
+    cpu.clock.now_ns += COSTS.INSN
+    a, b = cpu.pop2()
+    cpu.operands.append(_alu_mul(a, b))
+    cpu.pc += INSTR_SIZE
+    cpu.operands.append(
+        self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * f.i2.imm1))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_storel_loadl(self, cpu, f):
+    mmu = self.mmu
+    ctx = cpu.ctx
+    base = cpu.fp + 16
+    mmu.write_word(ctx, base + 8 * f.i1.imm1, cpu.pop())
+    cpu.pc += INSTR_SIZE
+    cpu.operands.append(mmu.read_word(ctx, base + 8 * f.i2.imm1))
+    cpu.pc += INSTR_SIZE
+
+
+def _fused_storel_jmp(self, cpu, f):
+    # The intermediate pc0+16 between the halves is unobservable (no
+    # fault can land between the store retiring and the jump), so the
+    # jump writes pc directly.
+    self.mmu.write_word(cpu.ctx, cpu.fp + 16 + 8 * f.i1.imm1, cpu.pop())
+    cpu.pc += INSTR_SIZE
+    cpu.clock.now_ns += COSTS.INSN_BRANCH
+    cpu.pc = f.i2.imm1
+
+
+def _fused_drop_loadl(self, cpu, f):
+    cpu.clock.now_ns += COSTS.INSN
+    cpu.pop()
+    cpu.pc += INSTR_SIZE
+    cpu.operands.append(
+        self.mmu.read_word(cpu.ctx, cpu.fp + 16 + 8 * f.i2.imm1))
+    cpu.pc += INSTR_SIZE
+
+
+#: Pair -> hand-specialized handler; pairs not listed here fall back to
+#: the push+binop / cmp+branch factories or the generic _op_fused.
+_FUSED_SPECIAL = {
+    (Op.LOADL, Op.PUSH): _fused_loadl_push,
+    (Op.LOADL, Op.LOADL): _fused_loadl_loadl,
+    (Op.LOADL, Op.STOREL): _fused_loadl_storel,
+    (Op.LOADL, Op.ADD): _fused_loadl_add,
+    (Op.PUSH, Op.LOADL): _fused_push_loadl,
+    (Op.LOAD, Op.PUSH): _fused_load_push,
+    (Op.LOAD, Op.STORE): _fused_load_store,
+    (Op.LOAD, Op.LT): _fused_load_lt,
+    (Op.LOAD, Op.MUL): _fused_load_mul,
+    (Op.ADD, Op.LOAD): _fused_add_load,
+    (Op.ADD, Op.STOREL): _fused_add_storel,
+    (Op.ADD, Op.LOADL): _fused_add_loadl,
+    (Op.MUL, Op.LOADL): _fused_mul_loadl,
+    (Op.STOREL, Op.LOADL): _fused_storel_loadl,
+    (Op.STOREL, Op.JMP): _fused_storel_jmp,
+    (Op.DROP, Op.LOADL): _fused_drop_loadl,
+}
+
+
 def _build_dispatch() -> list:
     """Opcode -> handler table (shared shape; built per interpreter so
-    handlers stay plain functions called as ``handler(self, cpu, instr)``)."""
-    table: list = [None] * NUM_OPCODES
+    handlers stay plain functions called as ``handler(self, cpu, instr)``).
+    Slots at and above ``FUSED_BASE`` hold the fused-pair handlers."""
+    table: list = [None] * DISPATCH_SLOTS
     named = {
         Op.NOP: Interpreter._op_nop,
         Op.HALT: Interpreter._op_halt,
@@ -446,4 +795,15 @@ def _build_dispatch() -> list:
         table[op] = handler
     for op, fn in _ALU_FUNCS.items():
         table[op] = _make_alu_handler(fn)
+    for i, (op1, op2) in enumerate(FUSED_PAIRS):
+        fused = _FUSED_SPECIAL.get((op1, op2))
+        if fused is not None:
+            pass
+        elif op1 == Op.PUSH and op2 in _ALU_FUNCS:
+            fused = _make_push_alu_handler(_ALU_FUNCS[op2])
+        elif op2 in (Op.JZ, Op.JNZ) and op1 in _ALU_FUNCS:
+            fused = _make_cmp_branch_handler(_ALU_FUNCS[op1], op2 == Op.JNZ)
+        else:
+            fused = Interpreter._op_fused
+        table[FUSED_BASE + i] = fused
     return table

@@ -100,3 +100,52 @@ BINARY_ALU = {
     Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
     Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE,
 }
+
+COMPARISONS = (Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE)
+
+# --------------------------------------------------------------- fusion
+# Superinstruction fusion: the loader's peephole pass replaces an
+# adjacent pair of instructions with one fused handler that performs
+# both (identical simulated charges, identical architectural effects —
+# a wall-clock dispatch saving only).
+#
+# Safety contract for the *first* element of a pair: it must be a
+# straight-line op — it completes unconditionally, advances the pc by
+# exactly one instruction, and can never raise WouldBlock.  A fault it
+# raises leaves the pc on the pair's first instruction, exactly as the
+# unfused sequence would.  The second element may be anything: the
+# fused handler retires the first half (pc advanced) before running it,
+# so faults, branches, and WouldBlock retries observe the same pc and
+# operand stack as unfused execution.  The pairs below are the hot
+# adjacencies of the Table 2 workloads: push+binop, load/store shapes,
+# and compare+branch.
+
+_FUSED_EXTRA = (
+    (Op.LOADL, Op.PUSH), (Op.LOADL, Op.LOADL), (Op.LOADL, Op.STOREL),
+    (Op.LOADL, Op.ADD), (Op.PUSH, Op.LOADL), (Op.LOAD, Op.PUSH),
+    (Op.LOAD, Op.STORE), (Op.LOAD, Op.LT), (Op.LOAD, Op.MUL),
+    (Op.ADD, Op.LOAD), (Op.ADD, Op.STOREL), (Op.ADD, Op.LOADL),
+    (Op.MUL, Op.LOADL), (Op.STOREL, Op.LOADL), (Op.STOREL, Op.JMP),
+    (Op.DROP, Op.LOADL),
+)
+
+#: The fused pairs, in slot order.  Slot ``i`` dispatches at opcode
+#: ``FUSED_BASE + i``; the perf counters index the same space.
+FUSED_PAIRS: tuple[tuple[int, int], ...] = tuple(
+    [(Op.PUSH, op) for op in sorted(BINARY_ALU)]
+    + [(cmp, branch) for cmp in COMPARISONS
+       for branch in (Op.JZ, Op.JNZ)]
+    + list(_FUSED_EXTRA)
+)
+
+#: Fused pseudo-opcodes live directly above the real opcode space.
+FUSED_BASE = NUM_OPCODES
+DISPATCH_SLOTS = FUSED_BASE + len(FUSED_PAIRS)
+
+#: (op1, op2) -> fused dispatch slot.
+FUSED_INDEX: dict[tuple[int, int], int] = {
+    pair: FUSED_BASE + i for i, pair in enumerate(FUSED_PAIRS)}
+
+#: Slot-ordered display names ("PUSH+ADD"), for the perf counters.
+FUSED_NAMES: tuple[str, ...] = tuple(
+    f"{Op(a).name}+{Op(b).name}" for a, b in FUSED_PAIRS)

@@ -60,6 +60,15 @@ class MachineConfig:
     quarantine_threshold: int = 1
     #: Supervised restarts per killed goroutine (0 = never respawn).
     restart_limit: int = 0
+    # Wall-clock fast-path kill-switches (PR 4).  All three are
+    # invisible to the cost model; they exist so the bit-identity test
+    # suite can diff each fast path against its slow path.
+    #: Load-time superinstruction peephole in the interpreter.
+    fuse_superinstructions: bool = True
+    #: LitterBox per-(goroutine, env) Prolog transition memo.
+    transition_cache: bool = True
+    #: Kernel (pkru, nr) -> seccomp verdict memo.
+    verdict_cache: bool = True
 
 FAULT_POLICIES = ("abort", "kill-goroutine", "quarantine")
 
@@ -92,7 +101,8 @@ class Machine:
         self.kernel.tracer = self.tracer
         self.host_table = PageTable("host")
         self.kernel.host_table = self.host_table
-        self.interp = Interpreter(self.mmu, self.clock)
+        self.interp = Interpreter(self.mmu, self.clock,
+                                  fusion=config.fuse_superinstructions)
         self.cpu = CPU(mmu=self.mmu, clock=self.clock)
         self.fault: Fault | None = None
 
@@ -129,6 +139,11 @@ class Machine:
         self.runtime = Runtime(self.mmu, self.allocator, self.scheduler,
                                self.channels, self.pkg_names)
         self.kernel.net.waker = self.scheduler.wake
+
+        # Fast-path kill-switches (wall-clock only; defaults stay on).
+        self.litterbox.transition_cache_enabled = config.transition_cache
+        if not config.verdict_cache:
+            self.kernel.verdict_cache = None
 
         # Fault containment + injection wiring.
         self.litterbox.fault_policy = config.fault_policy

@@ -2,25 +2,38 @@
 
 :class:`PerfStats` counts what the *simulator's* hot path does — TLB
 hits/misses/flushes, fetch fast-path behaviour, per-opcode dispatch
-frequencies.  These are observability counters for the interpreter
-itself; they are deliberately disjoint from :class:`~repro.hw.clock.
-SimClock`, whose simulated-nanosecond accounting is part of the
-reproduction's cost model and must not change when the interpreter gets
-faster.
+frequencies, and the PR-4 boundary caches (enclosure-transition memo,
+seccomp verdict memo, superinstruction fusion).  These are observability
+counters for the interpreter itself; they are deliberately disjoint from
+:class:`~repro.hw.clock.SimClock`, whose simulated-nanosecond accounting
+is part of the reproduction's cost model and must not change when the
+interpreter gets faster.
 
 One instance is shared per :class:`~repro.machine.Machine` by the MMU
-(translation counters) and the interpreter (fetch/dispatch counters),
-and surfaced via ``machine.perf``, ``repro run --stats``, and
+(translation counters), the interpreter (fetch/dispatch/fusion
+counters), the kernel (verdict cache), and LitterBox (transition
+cache), and surfaced via ``machine.perf``, ``repro run --stats``, and
 ``benchmarks/baseline.py``.
 """
 
 from __future__ import annotations
 
-#: Upper bound of the one-byte opcode space; sizes the per-opcode
-#: counter list.  (``repro.isa.opcodes.NUM_OPCODES`` is the exact
-#: bound, but importing it here would cycle hw -> perf -> isa -> hw, so
-#: the counters cover the full encodable space instead.)
-OP_SPACE = 256
+
+def _dispatch_slots() -> int:
+    # Late import: perf is imported by repro.hw.mmu, and repro.isa
+    # imports repro.hw — a module-level import here would cycle
+    # hw -> perf -> isa -> hw.  By first counter reset, repro.isa.opcodes
+    # is importable and gives the exact bound (real opcodes plus the
+    # fused pseudo-opcodes) instead of a padded guess.
+    from repro.isa.opcodes import DISPATCH_SLOTS
+    return DISPATCH_SLOTS
+
+
+def _op_name(code: int) -> str:
+    from repro.isa.opcodes import FUSED_BASE, FUSED_NAMES, Op
+    if code < FUSED_BASE:
+        return Op(code).name
+    return FUSED_NAMES[code - FUSED_BASE]
 
 
 class PerfStats:
@@ -32,6 +45,8 @@ class PerfStats:
 
     __slots__ = ("tlb_hits", "tlb_misses", "tlb_flushes",
                  "fetch_slow", "word_fast", "word_slow", "op_counts",
+                 "trans_hits", "trans_misses",
+                 "verdict_hits", "verdict_misses",
                  "runs")
 
     def __init__(self) -> None:
@@ -61,14 +76,33 @@ class PerfStats:
         #: frame route vs. the generic page-by-page loop.
         self.word_fast = 0
         self.word_slow = 0
-        #: Executed-instruction counts indexed by opcode value.
-        self.op_counts = [0] * OP_SPACE
+        #: Prolog transitions served from the per-goroutine memo vs.
+        #: re-derived from the environment policy (subset check).
+        self.trans_hits = 0
+        self.trans_misses = 0
+        #: Seccomp verdicts replayed from the (pkru, nr) memo vs.
+        #: evaluated by the BPF interpreter.
+        self.verdict_hits = 0
+        self.verdict_misses = 0
+        #: Executed-instruction counts indexed by opcode value; slots at
+        #: and above ``FUSED_BASE`` count fused-pair executions, one per
+        #: fusion kind.
+        self.op_counts = [0] * _dispatch_slots()
 
     # -- derived -----------------------------------------------------------
 
     @property
     def instructions(self) -> int:
-        return sum(self.op_counts)
+        """Architectural instructions executed (a fused pair counts 2)."""
+        from repro.isa.opcodes import FUSED_BASE
+        counts = self.op_counts
+        return sum(counts) + sum(counts[FUSED_BASE:])
+
+    @property
+    def fused_instructions(self) -> int:
+        """Instructions retired through fused handlers (2 per pair)."""
+        from repro.isa.opcodes import FUSED_BASE
+        return 2 * sum(self.op_counts[FUSED_BASE:])
 
     @property
     def tlb_hit_rate(self) -> float:
@@ -76,8 +110,7 @@ class PerfStats:
         return self.tlb_hits / total if total else 0.0
 
     def top_ops(self, n: int = 10) -> list[tuple[str, int]]:
-        from repro.isa.opcodes import Op  # deferred: see OP_SPACE note
-        pairs = [(Op(code).name, count)
+        pairs = [(_op_name(code), count)
                  for code, count in enumerate(self.op_counts) if count]
         pairs.sort(key=lambda item: item[1], reverse=True)
         return pairs[:n]
@@ -94,8 +127,13 @@ class PerfStats:
             "fetch_slow": self.fetch_slow,
             "word_fast": self.word_fast,
             "word_slow": self.word_slow,
+            "trans_hits": self.trans_hits,
+            "trans_misses": self.trans_misses,
+            "verdict_hits": self.verdict_hits,
+            "verdict_misses": self.verdict_misses,
+            "fused_instructions": self.fused_instructions,
             "instructions": self.instructions,
-            "ops": dict(self.top_ops(n=OP_SPACE)),
+            "ops": dict(self.top_ops(n=len(self.op_counts))),
         }
 
     def describe(self, top: int = 8) -> list[str]:
@@ -108,6 +146,12 @@ class PerfStats:
             f"fetch: {insns - self.fetch_slow} fast / "
             f"{self.fetch_slow} checked of {insns} instructions",
             f"word access: {self.word_fast} fast / {self.word_slow} generic",
+            f"transition cache: {self.trans_hits} hits / "
+            f"{self.trans_misses} misses",
+            f"verdict cache: {self.verdict_hits} hits / "
+            f"{self.verdict_misses} misses",
+            f"fused: {self.fused_instructions} of {insns} instructions "
+            f"retired through superinstructions",
         ]
         if insns:
             hot = ", ".join(f"{name}:{count}"

@@ -144,7 +144,6 @@ class Scheduler:
             if goroutine.state != "runnable":
                 continue
             self.current = goroutine
-            slice_steps = 0
             try:
                 if goroutine.activation is None:
                     goroutine.activation = self._first_activation(goroutine)
@@ -166,10 +165,17 @@ class Scheduler:
                     tracer.end(span)
                 goroutine.state = "running"
 
-                while slice_steps < self.TIME_SLICE:
-                    self.interp.step(self.cpu)
-                    slice_steps += 1
-                    total += 1
+                # run_slice counts architectural instructions (2 per
+                # fused dispatch), so the slice budget — and thus
+                # rotation timing and SCHED_SWITCH charges — is
+                # identical with fusion on or off.  slice_executed is
+                # valid even when the slice ends in an exception, so
+                # `total` stays exact across parks/faults/exits.
+                interp = self.interp
+                try:
+                    interp.run_slice(self.cpu, self.TIME_SLICE)
+                finally:
+                    total += interp.slice_executed
                 # Preemption point: rotate.
                 goroutine.state = "runnable"
                 goroutine.activation = self.cpu.save_activation()

@@ -206,11 +206,13 @@ def build_bild_image(width: int = 32, height: int = 32,
 
 
 def run_bild(backend: str, width: int = 32, height: int = 32,
-             iterations: int = 1, trace: bool = False) -> Machine:
+             iterations: int = 1, trace: bool = False,
+             config: MachineConfig | None = None) -> Machine:
     """Run the bild app; returns the finished machine (check .clock,
     and .tracer for the per-enclosure breakdown when ``trace=True``)."""
-    machine = Machine(build_bild_image(width, height, iterations),
-                      MachineConfig(backend=backend, trace=trace))
+    if config is None:
+        config = MachineConfig(backend=backend, trace=trace)
+    machine = Machine(build_bild_image(width, height, iterations), config)
     result = machine.run()
     if result.status != "exited":
         raise AssertionError(f"bild/{backend} failed: {machine.fault}")

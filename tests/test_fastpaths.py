@@ -1,0 +1,315 @@
+"""Hot-boundary fast paths: bit-identity, engagement, and invalidation.
+
+Three wall-clock fast paths ride the enclosure hot boundary (see
+INTERNALS.md §11): the LitterBox transition cache (memoized
+Prolog/Epilog approvals), the kernel's seccomp verdict cache, and
+load-time superinstruction fusion in the interpreter.  All three are
+optimizations of the *simulator*, not of the simulated machine, so the
+contract is strict: simulated time, traces, and workload output must be
+bit-identical with each path disabled via its MachineConfig
+kill-switch, and every quarantine/containment event must revoke the
+cached decisions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import Fault, QuarantinedFault, SyscallFault
+from repro.hw.mpk import PKRU_ALLOW_ALL
+from repro.isa import Instr, Op
+from repro.isa.interp import FusedInstr, Interpreter
+from repro.machine import Machine, MachineConfig
+from repro.os import syscalls as sc
+from repro.os.seccomp import ArgRule
+from repro.workloads.bild import build_bild_image, run_bild
+from repro.workloads.fasthttp import run_fasthttp_server
+from repro.workloads.httpserver import run_http_server
+
+from tests.fig1 import build_image
+from tests.golite_helpers import run_golite
+from tests.harness import TEXT_BASE, MiniMachine
+
+KNOBS = ["fuse_superinstructions", "transition_cache", "verdict_cache"]
+ENFORCING = ["mpk", "vtx"]
+
+
+def _bild_snapshot(backend: str, **knobs):
+    machine = run_bild(backend, 16, 16, 1,
+                       config=MachineConfig(backend=backend, trace=True,
+                                            **knobs))
+    return (machine.clock.now_ns, machine.stdout,
+            machine.tracer.summary())
+
+
+def _http_snapshot(runner, backend: str, **knobs):
+    driver = runner(backend, config=MachineConfig(backend=backend, **knobs))
+    responses = [driver.request() for _ in range(4)]
+    return (driver.machine.clock.now_ns, responses)
+
+
+class TestBitIdentity:
+    """Each kill-switch flips wall-clock behaviour only: simulated
+    nanoseconds, stdout, trace summaries, and response bytes match the
+    fast configuration exactly."""
+
+    @pytest.mark.parametrize("backend", ENFORCING + ["lwc"])
+    @pytest.mark.parametrize("knob", KNOBS)
+    def test_bild_identical_with_path_disabled(self, knob, backend):
+        assert _bild_snapshot(backend) == \
+            _bild_snapshot(backend, **{knob: False})
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    @pytest.mark.parametrize("knob", KNOBS)
+    def test_http_identical_with_path_disabled(self, knob, backend):
+        assert _http_snapshot(run_http_server, backend) == \
+            _http_snapshot(run_http_server, backend, **{knob: False})
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    @pytest.mark.parametrize("knob", KNOBS)
+    def test_fasthttp_identical_with_path_disabled(self, knob, backend):
+        assert _http_snapshot(run_fasthttp_server, backend) == \
+            _http_snapshot(run_fasthttp_server, backend, **{knob: False})
+
+    def test_all_paths_off_at_once(self):
+        off = {knob: False for knob in KNOBS}
+        assert _bild_snapshot("mpk") == _bild_snapshot("mpk", **off)
+
+
+class TestEngagement:
+    """The fast paths actually fire on the macro workloads (guards
+    against silently-dead caches that would make the bit-identity tests
+    vacuous)."""
+
+    def test_all_three_paths_fire_on_http(self):
+        driver = run_http_server("mpk")
+        for _ in range(5):
+            driver.request()
+        perf = driver.machine.perf
+        assert perf.trans_hits > 0
+        assert perf.verdict_hits > 0
+        assert perf.fused_instructions > 0
+        # Hits dominate misses once the per-request goroutines repeat
+        # the same call sites and syscalls.
+        assert perf.trans_hits > perf.trans_misses
+        assert perf.verdict_hits > perf.verdict_misses
+
+    def test_fusion_covers_most_of_bild(self):
+        machine = run_bild("mpk", 16, 16, 1)
+        perf = machine.perf
+        assert perf.fused_instructions > perf.instructions // 2
+
+    def test_kill_switches_zero_the_counters(self):
+        machine = run_bild("mpk", 16, 16, 1, config=MachineConfig(
+            backend="mpk", fuse_superinstructions=False,
+            transition_cache=False, verdict_cache=False))
+        perf = machine.perf
+        assert perf.fused_instructions == 0
+        assert (perf.trans_hits, perf.trans_misses) == (0, 0)
+        assert (perf.verdict_hits, perf.verdict_misses) == (0, 0)
+
+    def test_fusion_switch_controls_code_cache(self):
+        fused = Machine(build_bild_image(8, 8, 1),
+                        MachineConfig(backend="mpk"))
+        assert any(isinstance(i, FusedInstr)
+                   for i in fused.interp.code.values())
+        plain = Machine(build_bild_image(8, 8, 1),
+                        MachineConfig(backend="mpk",
+                                      fuse_superinstructions=False))
+        assert not any(isinstance(i, FusedInstr)
+                       for i in plain.interp.code.values())
+
+
+class TestFusionSemantics:
+    """The peephole's safety contract at the ISA level."""
+
+    def test_jump_into_pair_middle_executes_unfused(self):
+        """The second instruction of a fused pair keeps its own address,
+        so a branch target inside the pair still works."""
+        mm = MiniMachine()
+        instrs = [
+            Instr(Op.PUSH, 7),
+            Instr(Op.PUSH, 2),
+            Instr(Op.JMP, TEXT_BASE + 4 * 16),  # into the pair's middle
+            Instr(Op.PUSH, 100),                # fused with the ADD below
+            Instr(Op.ADD),
+            Instr(Op.HALT),
+        ]
+        mm.load(instrs)
+        # The pair was fused at its first address...
+        assert isinstance(mm.interp.code[TEXT_BASE + 3 * 16], FusedInstr)
+        # ...but the ADD is still dispatchable on its own.
+        assert mm.run() == 9  # 7 + 2, never + 100
+
+    def test_pair_never_spans_a_page_boundary(self):
+        page_instrs = 4096 // 16
+        instrs = [Instr(Op.NOP)] * (page_instrs - 1) + [
+            Instr(Op.PUSH, 1), Instr(Op.ADD), Instr(Op.HALT)]
+        mm = MiniMachine()
+        mm.load(instrs)
+        boundary_pc = TEXT_BASE + (page_instrs - 1) * 16
+        assert not isinstance(mm.interp.code[boundary_pc], FusedInstr)
+
+    def test_fault_in_second_half_retires_first_half(self):
+        """A divide-by-zero inside PUSH+DIV must leave the pc on the DIV
+        and the operand stack as the unfused sequence would."""
+        mm = MiniMachine()
+        mm.load([Instr(Op.PUSH, 1), Instr(Op.PUSH, 0), Instr(Op.DIV),
+                 Instr(Op.HALT)])
+        assert isinstance(mm.interp.code[TEXT_BASE + 16], FusedInstr)
+        with pytest.raises(Fault, match="divide by zero"):
+            mm.run()
+        assert mm.cpu.pc == TEXT_BASE + 2 * 16  # the DIV's own address
+        assert mm.cpu.operands == []            # both operands consumed
+
+    def test_run_slice_counts_architectural_instructions(self):
+        """Fused dispatches count as two instructions, so slice budgets
+        (and the scheduler's rotation timing) are fusion-invariant."""
+        mm = MiniMachine()
+        mm.load([Instr(Op.PUSH, 1), Instr(Op.PUSH, 2), Instr(Op.ADD),
+                 Instr(Op.PUSH, 0), Instr(Op.HALT)])
+        mm.cpu.pc = TEXT_BASE
+        interp = mm.interp
+        executed = interp.run_slice(mm.cpu, 3)
+        # PUSH, then the fused PUSH+ADD pair: 3 instructions retired.
+        assert executed == 3
+        assert interp.slice_executed == 3
+
+
+class TestVerdictCacheSafety:
+    def _machine(self, **cfg):
+        return Machine(build_image(), MachineConfig(backend="mpk", **cfg))
+
+    def test_arg_checked_nr_never_cached(self):
+        """A syscall with argument-granular rules (§6.5) must be
+        re-evaluated by the BPF interpreter on every call — its verdict
+        depends on the arguments, which are not part of the cache key."""
+        machine = self._machine(
+            arg_rules=[ArgRule(sc.SYS_CONNECT, 1, (5,))])
+        kernel = machine.kernel
+        assert sc.SYS_CONNECT in kernel.seccomp_filter.arg_checked
+
+        kernel.syscall(sc.SYS_GETPID, (), None, PKRU_ALLOW_ALL)
+        hits = machine.perf.verdict_hits
+        kernel.syscall(sc.SYS_GETPID, (), None, PKRU_ALLOW_ALL)
+        assert machine.perf.verdict_hits == hits + 1  # plain nr replays
+
+        kernel.syscall(sc.SYS_CONNECT, (3, 5, 22), None, PKRU_ALLOW_ALL)
+        hits = machine.perf.verdict_hits
+        kernel.syscall(sc.SYS_CONNECT, (3, 5, 22), None, PKRU_ALLOW_ALL)
+        assert machine.perf.verdict_hits == hits  # arg-checked never does
+        assert all(nr != sc.SYS_CONNECT for _, nr in kernel.verdict_cache)
+
+    def test_denied_verdict_not_cached(self):
+        machine = self._machine()
+        kernel = machine.kernel
+        env = machine.litterbox.env(1)
+        denied_nr = next(nr for nr in (sc.SYS_SOCKET, sc.SYS_GETUID,
+                                       sc.SYS_MKDIR)
+                         if nr not in env.syscalls)
+        with pytest.raises(SyscallFault):
+            kernel.syscall(denied_nr, (), None, env.pkru)
+        assert (env.pkru, denied_nr) not in kernel.verdict_cache
+        # And the denial is re-evaluated (and re-denied) on retry.
+        with pytest.raises(SyscallFault):
+            kernel.syscall(denied_nr, (), None, env.pkru)
+
+    def test_filter_install_flushes(self):
+        machine = self._machine()
+        machine.kernel.verdict_cache[(0, sc.SYS_GETPID)] = (0, 1)
+        machine.kernel.flush_verdicts()
+        assert machine.kernel.verdict_cache == {}
+
+    def test_kill_switch_disables_cache(self):
+        machine = self._machine(verdict_cache=False)
+        assert machine.kernel.verdict_cache is None
+        kernel = machine.kernel
+        kernel.syscall(sc.SYS_GETPID, (), None, PKRU_ALLOW_ALL)
+        kernel.syscall(sc.SYS_GETPID, (), None, PKRU_ALLOW_ALL)
+        assert machine.perf.verdict_hits == 0
+
+
+SECRETS = """
+package secretz
+
+var Value int = 777
+"""
+
+#: Both goroutines enter the *same* enclosure through the same call
+#: site.  The first warms the transition cache with a benign call, then
+#: violates on its second call, tripping the quarantine; the second
+#: goroutine's entry must be denied even though the transition was
+#: approved (and memoized) before the breaker tripped.
+WARM_THEN_VIOLATE = """
+package main
+
+import "secretz"
+
+var out int
+
+func bad(ch chan int) {
+    f := with "secretz:U, none" func(x int) int {
+        if x == 0 {
+            return 1
+        }
+        return secretz.Value
+    }
+    ch <- f(0)
+    ch <- f(1)
+}
+
+func main() {
+    ch := make(chan int, 4)
+    go bad(ch)
+    go bad(ch)
+    out = <-ch
+}
+"""
+
+
+class TestQuarantineInvalidation:
+    @pytest.mark.parametrize("backend", ENFORCING + ["lwc"])
+    def test_warm_transition_cannot_replay_past_quarantine(self, backend):
+        machine, result = run_golite(
+            WARM_THEN_VIOLATE, SECRETS,
+            config=MachineConfig(backend=backend,
+                                 fault_policy="quarantine",
+                                 quarantine_threshold=1))
+        assert result.status == "exited", machine.fault
+        lb = machine.litterbox
+        assert len(lb.quarantined) == 1
+        denied = [f for f in machine.scheduler.contained
+                  if isinstance(f, QuarantinedFault)]
+        # The second goroutine's (previously approved and memoized)
+        # entry was denied at the boundary.
+        assert denied and denied[0].kind == "denied-entry"
+        # The warm-up actually used the cache before the trip.
+        assert machine.perf.trans_hits > 0
+
+    def test_trip_clears_transition_and_verdict_caches(self):
+        machine = Machine(build_image(),
+                          MachineConfig(backend="mpk",
+                                        fault_policy="quarantine",
+                                        quarantine_threshold=1))
+        lb = machine.litterbox
+        env = lb.env(1)
+        lb._trans_cache[(env.id, 0, 0x1234)] = env
+        machine.kernel.verdict_cache[(env.pkru, sc.SYS_GETPID)] = (0, 3)
+        fault = Fault("mem", "contained violation")
+        fault.attribute(env)
+        lb.note_contained_fault(fault)
+        assert env.id in lb.quarantined
+        assert lb._trans_cache == {}
+        assert machine.kernel.verdict_cache == {}
+
+    def test_kill_switch_disables_transition_cache(self):
+        machine, result = run_golite(
+            WARM_THEN_VIOLATE, SECRETS,
+            config=MachineConfig(backend="mpk",
+                                 fault_policy="quarantine",
+                                 quarantine_threshold=1,
+                                 transition_cache=False))
+        assert result.status == "exited", machine.fault
+        perf = machine.perf
+        assert (perf.trans_hits, perf.trans_misses) == (0, 0)
+        assert machine.litterbox._trans_cache == {}
