@@ -8,7 +8,13 @@ Commands:
 * ``views FILE...`` — print every enclosure's computed memory view;
 * ``py FILE... [--mode M]`` — run Pylite modules (the last file is the
   main module; others are importable by their stem names);
-* ``micro`` — print the Table 1 microbenchmark row for this build.
+* ``micro`` — print the Table 1 microbenchmark row for this build;
+* ``report FILE...`` — validate/summarize ``--metrics`` expositions and
+  ``--profile`` folded stacks.
+
+``run`` and ``macro`` share the observability flags: ``--metrics``,
+``--profile``/``--profile-period``, ``--stats-json``, and
+``--trace-summary`` (all off by default; none charges simulated time).
 """
 
 from __future__ import annotations
@@ -26,11 +32,72 @@ def _read_sources(paths: list[str]) -> list[str]:
     return [pathlib.Path(p).read_text() for p in paths]
 
 
+def _write_text(dest: str, text: str) -> None:
+    """Write ``text`` to a path, or to stdout when ``dest`` is ``-``."""
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        pathlib.Path(dest).write_text(text)
+
+
+def _emit_observability(machine: Machine, args: argparse.Namespace) -> None:
+    """Shared ``--metrics/--profile/--trace-summary/--stats-json``
+    output for the run and macro commands."""
+    import json
+
+    if getattr(args, "metrics", None) is not None:
+        _write_text(args.metrics, machine.metrics_registry.render_text())
+        if args.metrics != "-":
+            print(f"-- wrote metrics exposition to {args.metrics}",
+                  file=sys.stderr)
+    if getattr(args, "profile", None) is not None:
+        profiler = machine.profiler
+        count = profiler.write_folded(args.profile)
+        print(f"-- wrote {count} samples to {args.profile} "
+              f"(period {profiler.period_ns:g} sim-ns)", file=sys.stderr)
+        for line in profiler.top_table().splitlines():
+            print(f"--   {line}", file=sys.stderr)
+    if getattr(args, "trace_summary", None) is not None:
+        pathlib.Path(args.trace_summary).write_text(
+            json.dumps(machine.tracer.summary(), indent=1, sort_keys=True))
+        print(f"-- wrote trace summary to {args.trace_summary}",
+              file=sys.stderr)
+    if getattr(args, "stats_json", None) is not None:
+        clock = machine.clock
+        snapshot = {
+            "sim_ns": clock.now_ns,
+            "counters": {name: clock.count(name)
+                         for name in ("switches", "transfers",
+                                      "syscalls", "vm_exits")},
+            "perf": machine.perf.snapshot(),
+        }
+        _write_text(args.stats_json,
+                    json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        if args.stats_json != "-":
+            print(f"-- wrote perf counters to {args.stats_json}",
+                  file=sys.stderr)
+
+
+def _print_stats(machine: Machine) -> None:
+    clock = machine.clock
+    print(f"-- simulated time: {clock.now_ns / 1e6:.3f} ms",
+          file=sys.stderr)
+    for counter in ("switches", "transfers", "syscalls", "vm_exits"):
+        print(f"--   {counter}: {clock.count(counter)}", file=sys.stderr)
+    print("-- interpreter perf counters (wall-clock observability):",
+          file=sys.stderr)
+    for line in machine.perf.describe():
+        print(f"--   {line}", file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     image = build_program(_read_sources(args.files))
     machine = Machine(image, MachineConfig(
         backend=args.backend,
-        trace=args.trace is not None,
+        trace=args.trace is not None or args.trace_summary is not None,
+        metrics=args.metrics is not None,
+        profile=args.profile is not None,
+        profile_period_ns=args.profile_period,
         fault_policy=args.fault_policy,
         inject=args.inject,
         inject_seed=args.seed,
@@ -58,17 +125,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"-- {line}", file=sys.stderr)
         print(f"-- wrote {count} trace events to {args.trace}",
               file=sys.stderr)
+    _emit_observability(machine, args)
     if args.stats:
-        clock = machine.clock
-        print(f"-- simulated time: {clock.now_ns / 1e6:.3f} ms",
-              file=sys.stderr)
-        for counter in ("switches", "transfers", "syscalls", "vm_exits"):
-            print(f"--   {counter}: {clock.count(counter)}",
-                  file=sys.stderr)
-        print("-- interpreter perf counters (wall-clock observability):",
-              file=sys.stderr)
-        for line in machine.perf.describe():
-            print(f"--   {line}", file=sys.stderr)
+        _print_stats(machine)
     return 0 if result.status in ("exited", "halted", "idle") else 1
 
 
@@ -122,11 +181,16 @@ def cmd_macro(args: argparse.Namespace) -> int:
     from repro.workloads.httpserver import run_http_server
 
     config = MachineConfig(backend=args.backend,
+                           trace=args.trace_summary is not None,
+                           metrics=args.metrics is not None,
+                           profile=args.profile is not None,
+                           profile_period_ns=args.profile_period,
                            fault_policy=args.fault_policy,
                            inject=args.inject,
                            inject_seed=args.seed,
                            quarantine_threshold=args.quarantine_threshold)
-    driver = run_http_server(args.backend, config=config)
+    driver = run_http_server(args.backend, config=config,
+                             metrics=args.metrics is not None)
     machine = driver.machine
     ok = errors = other = 0
     reference: bytes | None = None
@@ -143,6 +207,25 @@ def cmd_macro(args: argparse.Namespace) -> int:
             errors += 1
         else:
             other += 1
+    if args.metrics is not None:
+        # End-to-end check: the simulated server itself must answer
+        # GET /metrics with a valid exposition (the scrape is not
+        # recorded, so the latency histogram count stays == --requests).
+        from repro.metrics import MetricsFormatError, validate_exposition
+        scraped = driver.scrape_metrics()
+        if not scraped.startswith(b"HTTP/1.1 200"):
+            print(f"repro: in-sim /metrics scrape failed: {scraped[:64]!r}",
+                  file=sys.stderr)
+            return 1
+        body = scraped.split(b"\r\n\r\n", 1)[1].decode("utf-8", "replace")
+        try:
+            samples = validate_exposition(body)
+        except MetricsFormatError as err:
+            print(f"repro: in-sim /metrics exposition invalid: {err}",
+                  file=sys.stderr)
+            return 1
+        print(f"-- in-sim /metrics scrape: {samples} valid samples",
+              file=sys.stderr)
     report = machine.containment_report()
     contained = len(report["contained"])
     summary = {
@@ -161,6 +244,9 @@ def cmd_macro(args: argparse.Namespace) -> int:
     print(f"-- macro[{args.backend}]: {ok} ok, {errors} errors, "
           f"{contained} contained faults "
           f"(policy={config.fault_policy})", file=sys.stderr)
+    _emit_observability(machine, args)
+    if args.stats:
+        _print_stats(machine)
     if diverged:
         print("repro: clean responses diverged under injection",
               file=sys.stderr)
@@ -174,6 +260,44 @@ def cmd_macro(args: argparse.Namespace) -> int:
               f"faults, saw {contained}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Summarize observability artifacts: Prometheus expositions are
+    validated and totalled; folded profiles get a perf-top table."""
+    from repro import profiler as prof
+    from repro.metrics import MetricsFormatError, validate_exposition
+
+    status = 0
+    for path in args.files:
+        text = pathlib.Path(path).read_text()
+        print(f"== {path}")
+        stripped = text.lstrip()
+        if stripped.startswith("#"):
+            try:
+                samples = validate_exposition(text)
+            except MetricsFormatError as err:
+                print(f"repro: invalid exposition: {err}", file=sys.stderr)
+                status = 1
+                continue
+            families = sorted(
+                (line.split()[2], line.split()[3])
+                for line in text.splitlines()
+                if line.startswith("# TYPE "))
+            print(f"valid exposition: {samples} samples, "
+                  f"{len(families)} families")
+            for name, typename in families:
+                print(f"  {name} ({typename})")
+        else:
+            try:
+                stacks = prof.parse_folded(text)
+            except ValueError as err:
+                print(f"repro: invalid folded profile: {err}",
+                      file=sys.stderr)
+                status = 1
+                continue
+            print(prof.top_table(stacks, n=args.top))
+    return status
 
 
 def cmd_micro(args: argparse.Namespace) -> int:
@@ -195,6 +319,25 @@ def cmd_micro(args: argparse.Namespace) -> int:
         row += f"   {paper['baseline']}/{paper['mpk']}/{paper['vtx']}"
         print(row)
     return 0
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics", metavar="OUT|-", default=None,
+                        help="enable the metrics registry and write the "
+                             "Prometheus text exposition (- for stdout)")
+    parser.add_argument("--profile", metavar="OUT.folded", default=None,
+                        help="enable the sim-time sampling profiler and "
+                             "write collapsed stacks (top table on stderr)")
+    parser.add_argument("--profile-period", type=float, default=1000.0,
+                        metavar="NS",
+                        help="profiler sampling period in simulated ns "
+                             "(default: 1000)")
+    parser.add_argument("--stats-json", metavar="OUT|-", default=None,
+                        help="write sim time, clock counters, and the "
+                             "interpreter perf snapshot as JSON")
+    parser.add_argument("--trace-summary", metavar="OUT.json", default=None,
+                        help="enable the tracer and write its per-env "
+                             "summary as JSON")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -221,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="fault-injector RNG seed")
     p_run.add_argument("--quarantine-threshold", type=int, default=1,
                        help="contained faults before quarantine trips")
+    _add_observability_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_macro = sub.add_parser(
@@ -239,7 +383,17 @@ def main(argv: list[str] | None = None) -> int:
                               "were contained")
     p_macro.add_argument("--report", metavar="OUT.json", default=None,
                          help="write the containment report as JSON")
+    p_macro.add_argument("--stats", action="store_true")
+    _add_observability_args(p_macro)
     p_macro.set_defaults(func=cmd_macro)
+
+    p_report = sub.add_parser(
+        "report", help="summarize --metrics/--profile artifacts")
+    p_report.add_argument("files", nargs="+",
+                          help="Prometheus exposition or folded-stack files")
+    p_report.add_argument("--top", type=int, default=12,
+                          help="stacks to show for folded profiles")
+    p_report.set_defaults(func=cmd_report)
 
     p_layout = sub.add_parser("layout", help="print the Fig.4 layout")
     p_layout.add_argument("files", nargs="+")

@@ -166,6 +166,8 @@ class MPKBackend(Backend):
         if litterbox.tracer is not None:
             litterbox.tracer.instant("transfer", f"retag:{env.name}",
                                      env=env.name, mechanism="libmpk")
+        if litterbox.metrics is not None:
+            litterbox.metrics.switches.inc(env=env.name, kind="retag")
         owner_meta = litterbox.clustering.meta_for(env.spec.pseudo_package)
         for pkg in owner_meta.packages:
             for section in litterbox.image.graph.get(pkg).sections:

@@ -24,7 +24,7 @@ from repro.hw.pages import Perm, Section
 from repro.hw.pagetable import PageTable
 from repro.hw.vtx import ExitReason
 from repro.os.kvm import KVMDevice
-from repro.os.syscalls import syscall_name
+from repro.os.syscalls import CATEGORY_OF, syscall_name
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.litterbox import LitterBox
@@ -204,12 +204,17 @@ class VTXBackend(Backend):
         clock = self.litterbox.clock
         clock.charge(COSTS.GUEST_SYSCALL)
         tracer = self.litterbox.tracer
+        metrics = self.litterbox.metrics
         env = self._current_env or self.litterbox.trusted_env
         if not env.allows_syscall(nr):
             if tracer is not None:
                 tracer.instant("filter", "filter:deny",
                                mechanism="guest-os", nr=nr,
                                env=env.name, verdict="kill")
+            if metrics is not None:
+                metrics.verdicts.inc(
+                    mechanism="guest-os", verdict="kill",
+                    category=CATEGORY_OF.get(nr, "other"))
             raise SyscallFault(
                 f"guest OS rejected {syscall_name(nr)} in environment "
                 f"{env.name!r}", nr).attribute(env)
@@ -222,6 +227,10 @@ class VTXBackend(Backend):
                                    mechanism="guest-os", nr=nr,
                                    env=env.name, verdict="kill",
                                    arg_index=rule.arg_index, value=value)
+                if metrics is not None:
+                    metrics.verdicts.inc(
+                        mechanism="guest-os", verdict="kill",
+                        category=CATEGORY_OF.get(nr, "other"))
                 raise SyscallFault(
                     f"guest OS rejected {syscall_name(nr)}: argument "
                     f"{rule.arg_index} = {value:#x} not in the allow-list",
@@ -230,6 +239,10 @@ class VTXBackend(Backend):
             tracer.instant("filter", "filter:allow",
                            mechanism="guest-os", nr=nr,
                            env=env.name, verdict="allow")
+        if metrics is not None:
+            metrics.verdicts.inc(
+                mechanism="guest-os", verdict="allow",
+                category=CATEGORY_OF.get(nr, "other"))
         return self.kvm.forward_syscall(nr, args, cpu.ctx)
 
     # ------------------------------------------------------------ containment

@@ -92,6 +92,12 @@ class LitterBox:
         #: Optional enforcement-event tracer (repro.trace.Tracer), wired
         #: by the machine; ``None`` keeps every hook a single branch.
         self.tracer = None
+        #: Optional enforcement metrics (repro.metrics), same contract.
+        self.metrics = None
+        #: Optional sim-time sampling profiler (repro.profiler): hooks
+        #: mirror the tracer's ``set_env`` timeline so samples land in
+        #: the environment that accrued them.
+        self.profiler = None
         #: Optional deterministic fault injector (repro.inject), wired
         #: by the machine; ``None`` keeps Prolog injection-free.
         self.injector = None
@@ -206,6 +212,10 @@ class LitterBox:
                 span.env = target.name
                 span.args["from"] = current.name
                 tracer.set_env(target.name, at=span.t0)
+            if self.profiler is not None:
+                self.profiler.set_env(target.name)
+            if self.metrics is not None:
+                self.metrics.switches.inc(env=target.name, kind="prolog")
             goroutine.env_stack.append(
                 (current, cpu.fp, cpu.sp, cpu.stack))
             stack = self._stack_for(goroutine, target)
@@ -247,12 +257,16 @@ class LitterBox:
             cpu.fp, cpu.sp, cpu.stack = fp, sp, stack
             self.clock.tick("switches")
             self.backend.switch_to(cpu, previous)
+            if self.metrics is not None:
+                self.metrics.switches.inc(env=previous.name, kind="epilog")
             if span is not None:
                 span.args["to"] = previous.name
         finally:
             if span is not None:
                 tracer.end(span)
                 tracer.set_env(goroutine.env.name)
+            if self.profiler is not None:
+                self.profiler.set_env(goroutine.env.name)
 
     def execute(self, cpu: CPU, goroutine: "Goroutine") -> None:
         """Scheduler hook: resume a goroutine in its own environment
@@ -265,6 +279,8 @@ class LitterBox:
                 f"{goroutine.env.name!r} "
                 f"({self.quarantined[goroutine.env.id]})",
                 env_id=goroutine.env.id, env_name=goroutine.env.name)
+        if self.metrics is not None:
+            self.metrics.switches.inc(env=goroutine.env.name, kind="execute")
         self.backend.switch_to(cpu, goroutine.env)
 
     # ------------------------------------------------------------ containment
@@ -286,6 +302,10 @@ class LitterBox:
         cpu.fp, cpu.sp, cpu.stack = fp, sp, stack
         self.clock.tick("switches")
         self.backend.switch_to(cpu, base_env)
+        if self.profiler is not None:
+            self.profiler.set_env(base_env.name)
+        if self.metrics is not None:
+            self.metrics.switches.inc(env=base_env.name, kind="unwind")
         return depth
 
     def note_contained_fault(self, fault: Fault) -> None:
@@ -305,6 +325,8 @@ class LitterBox:
         self.quarantined[env_id] = f"{count} contained fault(s), " \
                                    f"last: fault[{fault.kind}]"
         self.backend.quarantine(env)
+        if self.metrics is not None:
+            self.metrics.quarantined.set(1, env=env.name)
         # Revocation must also revoke every fast path: memoized
         # transitions and seccomp verdicts could otherwise replay
         # decisions made before the quarantine (the TLB is already
@@ -335,6 +357,9 @@ class LitterBox:
             self.clock.tick("transfers")
             self.backend.transfer(section, to_pkg)
             self.arenas.append(ArenaRecord(section, to_pkg))
+            if self.metrics is not None:
+                self.metrics.transfers.inc(pkg=to_pkg)
+                self.metrics.transfer_bytes.inc(size, pkg=to_pkg)
         finally:
             if span is not None:
                 tracer.end(span)

@@ -43,7 +43,7 @@ _CMP = {"==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE, ">": Op.GT,
 BUILTINS = frozenset({
     "len", "cap", "append", "make", "new", "close", "println", "print",
     "itoa", "atoi", "string", "bytes", "syscall", "dataptr", "strptr",
-    "panic", "copy", "peek", "poke",
+    "panic", "copy", "peek", "poke", "metricstext",
 })
 
 
@@ -752,6 +752,14 @@ class FuncCompiler:
             if not is_numeric(t):
                 raise CompileError("itoa needs an int", line)
             self.asm.emit(Op.RTCALL, RT.ITOA, 2)
+            return STRING
+        if name == "metricstext":
+            # The runtime renders the machine's metrics registry into a
+            # fresh string in the calling package's arena (empty when
+            # metrics are disabled) — the in-sim /metrics endpoint.
+            need(0)
+            self.asm.emit(Op.PUSH, self.pkgid())
+            self.asm.emit(Op.RTCALL, RT.METRICS, 1)
             return STRING
         if name == "atoi":
             need(1)

@@ -58,6 +58,9 @@ class VirtualMachine:
         self.hypercall_handler: Callable[..., int] | None = None
         #: Optional enforcement-event tracer, wired by the machine.
         self.tracer = None
+        #: Optional enforcement metrics (repro.metrics), wired by the
+        #: machine: per-reason VM EXIT counters.
+        self.metrics = None
 
     # -- guest page-table management --------------------------------------
 
@@ -114,6 +117,8 @@ class VirtualMachine:
             tracer.complete("vm_exit", f"vm_exit:{reason.value}",
                             t0, COSTS.VMEXIT_ROUNDTRIP,
                             total_exits=self.vmcs.exits)
+        if self.metrics is not None:
+            self.metrics.vm_exits.inc(reason=reason.value)
 
     def hypercall(self, nr: int, args: tuple[int, ...]) -> int:
         """Forward a request to root mode (the host kernel)."""

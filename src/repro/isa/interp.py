@@ -94,6 +94,10 @@ class Interpreter:
         #: Architectural instructions retired by the most recent
         #: :meth:`run_slice` call (valid even if it raised).
         self.slice_executed = 0
+        #: Sim-time sampling profiler, wired by the machine.  Checked
+        #: once per slice, never per instruction: the null path's loop
+        #: body is untouched (see :meth:`_run_slice_profiled`).
+        self.profiler = None
         self._dispatch = _build_dispatch()
 
     def register_code(self, base: int, instrs: list[Instr]) -> None:
@@ -181,6 +185,8 @@ class Interpreter:
         detection) stays exact when a slice ends early on a fault,
         ``WouldBlock``, or exit.
         """
+        if self.profiler is not None:
+            return self._run_slice_profiled(cpu, budget)
         executed = 0
         code = self.code
         dispatch = self._dispatch
@@ -212,6 +218,50 @@ class Interpreter:
                     raise Fault("exec", f"unknown opcode {op!r} at {pc:#x}")
                 handler(self, cpu, instr)
                 executed += 1 if op < FUSED_BASE else 2
+        finally:
+            self.slice_executed = executed
+        return executed
+
+    def _run_slice_profiled(self, cpu: CPU, budget: int) -> int:
+        """:meth:`run_slice` with a retire-boundary drain for the
+        sampling profiler.  A separate copy of the loop so the unprofiled
+        path pays nothing; the drain itself charges no simulated cost,
+        so sim-ns stays bit-identical with profiling on."""
+        executed = 0
+        code = self.code
+        dispatch = self._dispatch
+        perf = self.perf
+        op_counts = perf.op_counts
+        mmu = self.mmu
+        profiler = self.profiler
+        clock = self.clock
+        try:
+            while executed < budget:
+                pc = cpu.pc
+                ctx = cpu.ctx
+                tag = self._exec_tag
+                if tag is None or tag[0] != pc >> PAGE_SHIFT \
+                        or tag[1] is not ctx \
+                        or tag[2] is not ctx.page_table \
+                        or tag[3] != tag[2].gen \
+                        or tag[4] is not ctx.ept \
+                        or (tag[4] is not None and tag[5] != tag[4].gen):
+                    perf.fetch_slow += 1
+                    self._exec_tag = mmu.exec_tag(ctx, pc)
+                instr = code.get(pc)
+                if instr is None:
+                    raw = mmu.read(ctx, pc, INSTR_SIZE, charge=False)
+                    instr = Instr.decode(raw)
+                    code[pc] = instr
+                op = instr.op
+                op_counts[op] += 1
+                handler = dispatch[op]
+                if handler is None:  # pragma: no cover
+                    raise Fault("exec", f"unknown opcode {op!r} at {pc:#x}")
+                handler(self, cpu, instr)
+                executed += 1 if op < FUSED_BASE else 2
+                if profiler.next_due <= clock.now_ns:
+                    profiler.drain_retire(pc)
         finally:
             self.slice_executed = executed
         return executed

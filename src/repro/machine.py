@@ -30,7 +30,9 @@ from repro.hw.physmem import PhysicalMemory
 from repro.image.elf import ElfImage
 from repro.inject import FaultInjector
 from repro.isa.interp import Interpreter
+from repro.metrics import EnforcementMetrics, MetricsRegistry
 from repro.perf import PerfStats
+from repro.profiler import Profiler
 from repro.isa.opcodes import Hook
 from repro.os.kernel import Kernel
 from repro.os.kvm import KVMDevice
@@ -69,6 +71,15 @@ class MachineConfig:
     transition_cache: bool = True
     #: Kernel (pkru, nr) -> seccomp verdict memo.
     verdict_cache: bool = True
+    # Observability (PR 5).  Both are wall-clock-only like the tracer:
+    # they charge no simulated cost, so sim-ns is bit-identical with
+    # either on or off.
+    #: Prometheus-style metrics registry over every enforcement point.
+    metrics: bool = False
+    #: Deterministic sim-time sampling profiler.
+    profile: bool = False
+    #: Sampling period of the profiler, in simulated nanoseconds.
+    profile_period_ns: float = 1000.0
 
 FAULT_POLICIES = ("abort", "kill-goroutine", "quarantine")
 
@@ -94,24 +105,48 @@ class Machine:
         #: every hook site guards on ``is not None`` so the disabled
         #: path is a single attribute test.
         self.tracer = Tracer(self.clock) if config.trace else None
+        #: Enforcement metrics (``None`` unless ``config.metrics``);
+        #: same null-path contract as the tracer.
+        self.metrics = None
+        self.metrics_registry = None
+        if config.metrics:
+            self.metrics_registry = MetricsRegistry(
+                const_labels={"backend": config.backend})
+            self.metrics = EnforcementMetrics(self.metrics_registry)
+            self.metrics_registry.gauge(
+                "sim_time_ns",
+                "Simulated nanoseconds elapsed on this machine's clock."
+            ).set_function(lambda: self.clock.now_ns)
+        #: Sim-time sampling profiler (``None`` unless ``config.profile``).
+        self.profiler = (Profiler(self.clock, config.profile_period_ns,
+                                  backend=config.backend)
+                         if config.profile else None)
         self.physmem = PhysicalMemory()
         self.mmu = MMU(self.physmem, self.clock, perf=self.perf)
         self.mmu.tracer = self.tracer
         self.kernel = Kernel(self.physmem, self.mmu, self.clock)
         self.kernel.tracer = self.tracer
+        self.kernel.metrics = self.metrics
+        self.kernel.profiler = self.profiler
         self.host_table = PageTable("host")
         self.kernel.host_table = self.host_table
         self.interp = Interpreter(self.mmu, self.clock,
                                   fusion=config.fuse_superinstructions)
+        self.interp.profiler = self.profiler
         self.cpu = CPU(mmu=self.mmu, clock=self.clock)
         self.fault: Fault | None = None
 
         self._load_image()
+        if self.profiler is not None:
+            self.profiler.load_image(image)
+            self.profiler.pc_provider = lambda: self.cpu.pc
 
         backend = self._make_backend(config)
         self.backend = backend
         self.litterbox = LitterBox(backend, self.kernel, self.mmu, self.clock)
         self.litterbox.tracer = self.tracer
+        self.litterbox.metrics = self.metrics
+        self.litterbox.profiler = self.profiler
         self.litterbox.trusted_ctx = TranslationContext(
             page_table=self.host_table, pkru=None)
 
@@ -124,6 +159,7 @@ class Machine:
         if config.backend == "vtx":
             vtx: VTXBackend = backend
             vtx.vm.tracer = self.tracer
+            vtx.vm.metrics = self.metrics
             # Entering guest mode installs a new CR3 and the EPT: any
             # translations cached during loading are flushed.
             self.cpu.ctx.page_table = vtx.trusted_table
@@ -135,9 +171,12 @@ class Machine:
         self.allocator = Allocator(self.litterbox)
         self.scheduler = Scheduler(self.cpu, self.interp, self.litterbox)
         self.scheduler.tracer = self.tracer
+        self.scheduler.profiler = self.profiler
         self.channels = ChannelTable(self.scheduler.wake)
         self.runtime = Runtime(self.mmu, self.allocator, self.scheduler,
                                self.channels, self.pkg_names)
+        if self.metrics_registry is not None:
+            self.runtime.metrics_renderer = self.metrics_registry.render_text
         self.kernel.net.waker = self.scheduler.wake
 
         # Fast-path kill-switches (wall-clock only; defaults stay on).
@@ -241,6 +280,8 @@ class Machine:
             max_total_steps=max_steps, stop_when_main_exits=False))
 
     def _finish(self, result: RunResult) -> RunResult:
+        if self.profiler is not None:
+            self.profiler.finish()
         if result.status == "faulted":
             self.fault = result.fault
             if self.config.backend == "vtx":

@@ -83,6 +83,13 @@ class Kernel:
         self.syscall_log: list[int] = []
         #: Optional enforcement-event tracer, wired by the machine.
         self.tracer = None
+        #: Optional enforcement metrics (repro.metrics), wired by the
+        #: machine: FilterSyscall verdict counters.
+        self.metrics = None
+        #: Optional sim-time sampling profiler: no instructions retire
+        #: while the kernel runs (time advances via ``clock.charge``),
+        #: so syscall return is where in-kernel samples materialize.
+        self.profiler = None
         #: Optional FaultInjector consulted at every kernel entry.
         self.inject = None
         #: Which goroutine last used each fd (fd -> gid); drives
@@ -152,16 +159,23 @@ class Kernel:
         kernel's copy_from_user path).
         """
         tracer = self.tracer
-        if tracer is None:
+        profiler = self.profiler
+        if tracer is None and profiler is None:
             return self._syscall(nr, args, ctx, pkru)
-        span = tracer.begin("syscall", f"sys:{sc.syscall_name(nr)}",
-                            nr=nr, pkru=pkru)
+        span = None
+        if tracer is not None:
+            span = tracer.begin("syscall", f"sys:{sc.syscall_name(nr)}",
+                                nr=nr, pkru=pkru)
         try:
             ret = self._syscall(nr, args, ctx, pkru)
-            span.args["ret"] = ret
+            if span is not None:
+                span.args["ret"] = ret
             return ret
         finally:
-            tracer.end(span)
+            if span is not None:
+                tracer.end(span)
+            if profiler is not None:
+                profiler.drain_kernel(nr)
 
     def _syscall(self, nr: int, args: tuple[int, ...],
                  ctx: TranslationContext | None, pkru: int) -> int:
@@ -175,6 +189,10 @@ class Kernel:
                     self.tracer.instant("filter", "filter:inject",
                                         mechanism="injector", nr=nr,
                                         errno=-forced)
+                if self.metrics is not None:
+                    self.metrics.verdicts.inc(
+                        mechanism="injector", verdict="errno",
+                        category=sc.CATEGORY_OF.get(nr, "other"))
                 return forced
         if self.seccomp_filter is not None:
             filt = self.seccomp_filter
@@ -198,6 +216,13 @@ class Kernel:
                 COSTS.SECCOMP_FIXED + COSTS.SECCOMP_BPF_INSN * executed)
             action = ret & 0xFFFF0000
             tracer = self.tracer
+            if self.metrics is not None:
+                verdict = ("kill" if action == SECCOMP_RET_KILL else
+                           "errno" if action == SECCOMP_RET_ERRNO else
+                           "allow")
+                self.metrics.verdicts.inc(
+                    mechanism="seccomp-bpf", verdict=verdict,
+                    category=sc.CATEGORY_OF.get(nr, "other"))
             if action == SECCOMP_RET_KILL:
                 if tracer is not None:
                     tracer.instant("filter", "filter:deny",

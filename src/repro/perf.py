@@ -109,6 +109,12 @@ class PerfStats:
         total = self.tlb_hits + self.tlb_misses
         return self.tlb_hits / total if total else 0.0
 
+    @property
+    def word_hit_rate(self) -> float:
+        """Share of word accesses that took the direct frame route."""
+        total = self.word_fast + self.word_slow
+        return self.word_fast / total if total else 0.0
+
     def top_ops(self, n: int = 10) -> list[tuple[str, int]]:
         pairs = [(_op_name(code), count)
                  for code, count in enumerate(self.op_counts) if count]
@@ -127,6 +133,7 @@ class PerfStats:
             "fetch_slow": self.fetch_slow,
             "word_fast": self.word_fast,
             "word_slow": self.word_slow,
+            "word_hit_rate": round(self.word_hit_rate, 4),
             "trans_hits": self.trans_hits,
             "trans_misses": self.trans_misses,
             "verdict_hits": self.verdict_hits,
@@ -136,16 +143,24 @@ class PerfStats:
             "ops": dict(self.top_ops(n=len(self.op_counts))),
         }
 
+    def snapshot(self) -> dict:
+        """JSON-ready counter snapshot (``--stats-json``; CI diffs
+        these between runs).  Alias of :meth:`as_dict` under the name
+        the tooling expects."""
+        return self.as_dict()
+
     def describe(self, top: int = 8) -> list[str]:
         """Human-readable counter lines for ``--stats`` output."""
         insns = self.instructions
         lines = [
             f"tlb: {self.tlb_hits} hits / {self.tlb_misses} misses "
             f"({100 * self.tlb_hit_rate:.1f}% hit rate), "
-            f"{self.tlb_flushes} flushes",
+            f"{self.tlb_flushes} flushes "
+            f"(context switches + CR3 writes)",
             f"fetch: {insns - self.fetch_slow} fast / "
             f"{self.fetch_slow} checked of {insns} instructions",
-            f"word access: {self.word_fast} fast / {self.word_slow} generic",
+            f"word access: {self.word_fast} fast / {self.word_slow} generic "
+            f"({100 * self.word_hit_rate:.1f}% fast)",
             f"transition cache: {self.trans_hits} hits / "
             f"{self.trans_misses} misses",
             f"verdict cache: {self.verdict_hits} hits / "

@@ -52,6 +52,7 @@ class RT(enum.IntEnum):
     SLICE_FROM_STR = 25  # (pkg_id, s) -> []byte desc addr
     SLICE_COPY = 26    # (dst_desc, src_desc, elem_size) -> copied count
     PANIC = 30         # (code) -> aborts
+    METRICS = 31       # (pkg_id) -> string addr (metrics exposition)
 
 
 # String layout: [len:i64][bytes].  Slice descriptor: [data,len,cap].
@@ -77,6 +78,10 @@ class Runtime:
         self.scheduler = scheduler
         self.channels = channels
         self.pkg_names = pkg_names
+        #: Wired by the machine when metrics are on: () -> exposition
+        #: text.  ``None`` makes RT.METRICS return the empty string, so
+        #: a metrics-built image still runs with metrics disabled.
+        self.metrics_renderer = None
 
     # -- helpers shared with the machine ----------------------------------
 
@@ -155,6 +160,11 @@ class Runtime:
             pkg_id, value = args
             return self.new_string(ctx, self.pkg_name(pkg_id),
                                    str(value).encode())
+        if service == RT.METRICS:
+            renderer = self.metrics_renderer
+            text = renderer() if renderer is not None else ""
+            return self.new_string(ctx, self.pkg_name(args[0]),
+                                   text.encode())
         if service == RT.ATOI:
             data = read_string(mmu, ctx, args[0])
             try:

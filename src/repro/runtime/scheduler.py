@@ -70,6 +70,9 @@ class Scheduler:
         self.main: Goroutine | None = None
         #: Optional enforcement-event tracer, wired by the machine.
         self.tracer = None
+        #: Optional sim-time sampling profiler, wired by the machine;
+        #: Execute re-points its env attribution like the tracer's.
+        self.profiler = None
         #: Fault policy: "abort" (paper §2.2), "kill-goroutine", or
         #: "quarantine" (kill + trip the enclosure's quarantine breaker).
         self.fault_policy = "abort"
@@ -163,6 +166,8 @@ class Scheduler:
                     self.litterbox.execute(self.cpu, goroutine)
                     tracer.set_env(goroutine.env.name, at=span.t0)
                     tracer.end(span)
+                if self.profiler is not None:
+                    self.profiler.set_env(goroutine.env.name)
                 goroutine.state = "running"
 
                 # run_slice counts architectural instructions (2 per
@@ -248,6 +253,8 @@ class Scheduler:
         #    is the quarantine *working*, not a fresh violation.
         if not isinstance(fault, QuarantinedFault):
             lb.note_contained_fault(fault)
+        if lb.metrics is not None:
+            lb.metrics.contained.inc(env=fault_env, kind=fault.kind)
         # 4. The kernel reclaims the dead goroutine's fds and wake keys.
         reclaimed = self.reclaim(goroutine.id) if self.reclaim else 0
         goroutine.state = "done"

@@ -182,5 +182,6 @@ def run_fasthttp_server(backend: str,
         config = MachineConfig(backend=backend)
     machine = Machine(build_fasthttp_image(), config)
     driver = HttpDriver(machine, port=PORT)
+    driver.workload = "fasthttp"
     driver.start()
     return driver

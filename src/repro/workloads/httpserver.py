@@ -198,8 +198,40 @@ func main() {{
 """
 
 
-def build_http_image():
-    objects = compile_program([HTTP_SOURCE, app_source()])
+#: Inserted into ``handleConn`` only in the metrics-enabled image: the
+#: server itself answers ``GET /metrics`` with the machine's live
+#: exposition (trusted server code — handlers stay enclosed).  The
+#: plain image must not contain this branch: any extra instruction in
+#: the request path would change sim-ns and break bit-identity with
+#: the committed benchmark baselines.
+_METRICS_ROUTE = """\
+    if path == "/metrics" {
+        exposition := metricstext()
+        mh := "HTTP/1.1 200 OK\\r\\nContent-Length: " +
+            itoa(len(exposition)) +
+            "\\r\\nContent-Type: text/plain; version=0.0.4" +
+            "\\r\\nConnection: close\\r\\n\\r\\n"
+        syscall(sysWrite, conn, strptr(mh), len(mh))
+        syscall(sysWrite, conn, strptr(exposition), len(exposition))
+        syscall(sysClose, conn)
+        served = served + 1
+        return
+    }
+    body := handler(path)"""
+
+
+def http_source(metrics: bool = False) -> str:
+    if not metrics:
+        return HTTP_SOURCE
+    marker = "        processBody(buf, 28)\n    }\n    body := handler(path)"
+    assert marker in HTTP_SOURCE, "handleConn body drifted"
+    return HTTP_SOURCE.replace(
+        marker,
+        "        processBody(buf, 28)\n    }\n" + _METRICS_ROUTE)
+
+
+def build_http_image(metrics: bool = False):
+    objects = compile_program([http_source(metrics), app_source()])
     from repro.workloads import corpus
     corpus.stamp_loc(objects, {"main": 31})
     return link(objects, entry="main.$start")
@@ -207,6 +239,9 @@ def build_http_image():
 
 class HttpDriver:
     """Host-side load generator for the in-simulation servers."""
+
+    #: Label for the request-latency histogram (fasthttp/wiki override).
+    workload = "http"
 
     def __init__(self, machine: Machine, port: int = PORT):
         self.machine = machine
@@ -219,8 +254,15 @@ class HttpDriver:
         if result.status == "faulted":
             raise AssertionError(f"server faulted: {self.machine.fault}")
 
-    def request(self, path: str = "/index.html") -> bytes:
-        """Issue one request; returns the raw response bytes."""
+    def request(self, path: str = "/index.html",
+                record: bool = True) -> bytes:
+        """Issue one request; returns the raw response bytes.
+
+        When metrics are on, the request's simulated latency is
+        observed into the machine's latency histogram — unless
+        ``record=False`` (used by the driver's own ``/metrics`` scrape
+        so the scrape does not count itself).
+        """
         conn = self.machine.kernel.net.connect(LOCALHOST, self.port)
         if isinstance(conn, int):
             raise AssertionError(f"connect failed ({conn})")
@@ -230,13 +272,24 @@ class HttpDriver:
                    "Accept: text/html,application/xhtml+xml\r\n"
                    "Accept-Encoding: gzip, deflate\r\n"
                    "Connection: close\r\n\r\n")
+        start_ns = self.machine.clock.now_ns
         conn.client.send(request.encode())
         result = self.machine.resume()
         if result.status == "faulted":
             raise AssertionError(f"server faulted: {self.machine.fault}")
+        metrics = self.machine.metrics
+        if metrics is not None and record:
+            metrics.request_latency.observe(
+                self.machine.clock.now_ns - start_ns,
+                workload=self.workload)
         response = bytes(conn.client.rx)
         conn.client.close()
         return response
+
+    def scrape_metrics(self) -> bytes:
+        """Fetch the server's own ``/metrics`` endpoint (metrics-built
+        images only); the scrape itself is not recorded as a request."""
+        return self.request("/metrics", record=False)
 
     def throughput(self, requests: int) -> float:
         """Simulated requests/second over ``requests`` requests."""
@@ -249,10 +302,13 @@ class HttpDriver:
 
 
 def run_http_server(backend: str,
-                    config: MachineConfig | None = None) -> HttpDriver:
+                    config: MachineConfig | None = None,
+                    metrics: bool = False) -> HttpDriver:
+    """``metrics=True`` builds the image variant with the ``/metrics``
+    route; the plain image stays byte-identical to the benchmarked one."""
     if config is None:
         config = MachineConfig(backend=backend)
-    machine = Machine(build_http_image(), config)
+    machine = Machine(build_http_image(metrics=metrics), config)
     driver = HttpDriver(machine)
     driver.start()
     return driver

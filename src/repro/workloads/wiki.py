@@ -302,6 +302,8 @@ def build_wiki_image():
 class WikiDriver(HttpDriver):
     """Load generator speaking the wiki's GET/POST interface."""
 
+    workload = "wiki"
+
     def view(self, page: str) -> bytes:
         return self.request(f"/view/{page}")
 
@@ -310,12 +312,18 @@ class WikiDriver(HttpDriver):
         if isinstance(conn, int):
             raise AssertionError(f"connect failed ({conn})")
         body = content
+        start_ns = self.machine.clock.now_ns
         conn.client.send(
             (f"POST /save/{page} HTTP/1.1\r\nHost: wiki\r\n"
              f"Content-Length: {len(body)}\r\n\r\n{body}").encode())
         result = self.machine.resume()
         if result.status == "faulted":
             raise AssertionError(f"wiki faulted: {self.machine.fault}")
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.request_latency.observe(
+                self.machine.clock.now_ns - start_ns,
+                workload=self.workload)
         response = bytes(conn.client.rx)
         conn.client.close()
         return response

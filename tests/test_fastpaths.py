@@ -76,6 +76,31 @@ class TestBitIdentity:
         assert _bild_snapshot("mpk") == _bild_snapshot("mpk", **off)
 
 
+class TestObservabilityBitIdentity:
+    """PR-5 observers obey the same contract from the other direction:
+    *enabling* the metrics registry or the sampling profiler changes no
+    simulated value (sim-ns, stdout, trace summaries, response bytes)."""
+
+    OBSERVERS = ["metrics", "profile"]
+
+    @pytest.mark.parametrize("backend", ENFORCING + ["lwc"])
+    @pytest.mark.parametrize("knob", OBSERVERS)
+    def test_bild_identical_with_observer_enabled(self, knob, backend):
+        assert _bild_snapshot(backend) == \
+            _bild_snapshot(backend, **{knob: True})
+
+    @pytest.mark.parametrize("backend", ENFORCING)
+    def test_http_identical_with_both_observers_enabled(self, backend):
+        assert _http_snapshot(run_http_server, backend) == \
+            _http_snapshot(run_http_server, backend,
+                           metrics=True, profile=True)
+
+    def test_fasthttp_identical_with_both_observers_enabled(self):
+        assert _http_snapshot(run_fasthttp_server, "mpk") == \
+            _http_snapshot(run_fasthttp_server, "mpk",
+                           metrics=True, profile=True)
+
+
 class TestEngagement:
     """The fast paths actually fire on the macro workloads (guards
     against silently-dead caches that would make the bit-identity tests
