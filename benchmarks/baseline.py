@@ -71,7 +71,10 @@ def bench_table1(repeats: int) -> dict:
     return out
 
 
-def bench_table2(repeats: int, requests: int) -> dict:
+def bench_table2(repeats: int, requests: int, jit: bool = True) -> dict:
+    """``jit=False`` re-runs the same cells under pure interpretation —
+    the regression gate diffs the simulated values of both modes."""
+    from repro.machine import MachineConfig
     from repro.workloads.bild import run_bild
     from repro.workloads.fasthttp import run_fasthttp_server
     from repro.workloads.httpserver import run_http_server
@@ -79,14 +82,18 @@ def bench_table2(repeats: int, requests: int) -> dict:
     out: dict[str, dict] = {}
 
     def bild(backend: str):
-        machine = run_bild(backend, width=32, height=32, iterations=2)
+        machine = run_bild(backend, width=32, height=32, iterations=2,
+                           config=MachineConfig(backend=backend, jit=jit))
         return machine.clock.now_ns
 
     def http(backend: str):
-        return run_http_server(backend).throughput(requests)
+        config = MachineConfig(backend=backend, jit=jit)
+        return run_http_server(backend, config=config).throughput(requests)
 
     def fasthttp(backend: str):
-        return run_fasthttp_server(backend).throughput(requests)
+        config = MachineConfig(backend=backend, jit=jit)
+        return run_fasthttp_server(backend,
+                                   config=config).throughput(requests)
 
     for name, runner, unit in (("bild", bild, "sim_ns"),
                                ("HTTP", http, "sim_req_per_s"),

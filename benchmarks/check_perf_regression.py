@@ -2,22 +2,25 @@
 
 Re-runs the Table 2 macro benchmarks (the harness's hot loop) and
 compares the summed wall-clock time against a committed entry in
-``BENCH_interp.json`` (default: ``pr4``, the hot-boundary fast-path
-baseline).  Fails when wall time regresses more than ``--threshold``
-percent — generous by default because CI machines are slower and
-noisier than the machine that recorded the baseline.
+``BENCH_interp.json`` (default: ``pr6``, the tracing-JIT baseline).
+Fails when wall time regresses more than ``--threshold`` percent —
+generous by default because CI machines are slower and noisier than
+the machine that recorded the baseline.
 
-Two checks ride along that are *not* noise-prone and fail hard:
+Three checks ride along that are *not* noise-prone and fail hard:
 
 * every simulated value (bild sim-ns, HTTP/FastHTTP sim-req/s) must be
   bit-identical to the committed entry — wall-clock optimizations are
   forbidden from touching the cost model;
+* the same cells re-run with ``jit=False`` (pure interpretation) must
+  produce bit-identical simulated values — any divergence means the
+  JIT changed observable behaviour (skip with ``--skip-jit-check``);
 * the run must complete at all (a hang or fault fails the job).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_perf_regression.py \
-        --baseline pr4 --threshold 30 --report perf-report.json
+        --baseline pr6 --threshold 30 --report perf-report.json
 """
 
 from __future__ import annotations
@@ -44,12 +47,14 @@ def _sim_value(row_name: str, row: dict):
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", default="pr4",
+    parser.add_argument("--baseline", default="pr6",
                         help="label of the committed BENCH_interp.json entry")
     parser.add_argument("--threshold", type=float, default=30.0,
                         help="max allowed wall-clock regression, percent")
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--requests", type=int, default=15)
+    parser.add_argument("--skip-jit-check", action="store_true",
+                        help="skip the jit=False bit-identity re-run")
     parser.add_argument("--report", default="perf-regression-report.json",
                         help="where to write the JSON report artifact")
     args = parser.parse_args(argv)
@@ -78,7 +83,19 @@ def main(argv: list[str] | None = None) -> int:
         and _sim_value(name, row) != _sim_value(name, baseline_rows[name])
     }
 
-    failed = ratio > limit or bool(sim_mismatches)
+    jit_mismatches: dict = {}
+    if not args.skip_jit_check:
+        print("== jit=False bit-identity re-run ==")
+        nojit_rows = bench_table2(1, args.requests, jit=False)
+        jit_mismatches = {
+            name: {"jit": _sim_value(name, row),
+                   "nojit": _sim_value(name, nojit_rows[name])}
+            for name, row in measured_rows.items()
+            if name in nojit_rows
+            and _sim_value(name, row) != _sim_value(name, nojit_rows[name])
+        }
+
+    failed = ratio > limit or bool(sim_mismatches) or bool(jit_mismatches)
     report = {
         "baseline_label": args.baseline,
         "baseline_total_wall_s": baseline_total,
@@ -86,6 +103,7 @@ def main(argv: list[str] | None = None) -> int:
         "ratio": round(ratio, 3),
         "threshold_pct": args.threshold,
         "sim_mismatches": sim_mismatches,
+        "jit_mismatches": jit_mismatches,
         "rows": measured_rows,
         "status": "fail" if failed else "ok",
     }
@@ -96,10 +114,14 @@ def main(argv: list[str] | None = None) -> int:
     if sim_mismatches:
         print(f"FAIL: simulated values diverged from the committed "
               f"baseline: {sorted(sim_mismatches)}")
+    if jit_mismatches:
+        print(f"FAIL: simulated values diverged between jit on/off: "
+              f"{sorted(jit_mismatches)}")
     if ratio > limit:
         print(f"FAIL: wall-clock regressed more than {args.threshold:.0f}%")
     if not failed:
-        print("  ok: wall clock within budget, simulated values identical")
+        print("  ok: wall clock within budget, simulated values identical"
+              + ("" if args.skip_jit_check else " (jit on/off)"))
     return 1 if failed else 0
 
 

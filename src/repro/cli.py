@@ -13,8 +13,10 @@ Commands:
   ``--profile`` folded stacks.
 
 ``run`` and ``macro`` share the observability flags: ``--metrics``,
-``--profile``/``--profile-period``, ``--stats-json``, and
-``--trace-summary`` (all off by default; none charges simulated time).
+``--profile``/``--profile-period``, ``--stats-json``,
+``--trace-summary``, and ``--jit-stats`` (all off by default; none
+charges simulated time), plus ``--no-jit`` to force pure
+interpretation (simulated values are bit-identical either way).
 """
 
 from __future__ import annotations
@@ -76,6 +78,8 @@ def _emit_observability(machine: Machine, args: argparse.Namespace) -> None:
         if args.stats_json != "-":
             print(f"-- wrote perf counters to {args.stats_json}",
                   file=sys.stderr)
+    if getattr(args, "jit_stats", False):
+        print(f"-- {machine.perf.describe_jit()}", file=sys.stderr)
 
 
 def _print_stats(machine: Machine) -> None:
@@ -101,7 +105,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         fault_policy=args.fault_policy,
         inject=args.inject,
         inject_seed=args.seed,
-        quarantine_threshold=args.quarantine_threshold))
+        quarantine_threshold=args.quarantine_threshold,
+        jit=not args.no_jit))
     result = machine.run()
     sys.stdout.write(machine.stdout.decode("utf-8", "replace"))
     if result.status == "faulted":
@@ -188,7 +193,8 @@ def cmd_macro(args: argparse.Namespace) -> int:
                            fault_policy=args.fault_policy,
                            inject=args.inject,
                            inject_seed=args.seed,
-                           quarantine_threshold=args.quarantine_threshold)
+                           quarantine_threshold=args.quarantine_threshold,
+                           jit=not args.no_jit)
     driver = run_http_server(args.backend, config=config,
                              metrics=args.metrics is not None)
     machine = driver.machine
@@ -338,6 +344,13 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-summary", metavar="OUT.json", default=None,
                         help="enable the tracer and write its per-env "
                              "summary as JSON")
+    parser.add_argument("--no-jit", action="store_true",
+                        help="disable the tracing JIT (pure "
+                             "interpretation; simulated values are "
+                             "bit-identical either way)")
+    parser.add_argument("--jit-stats", action="store_true",
+                        help="print the JIT summary (traces compiled, "
+                             "coverage, deopts) on stderr")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -101,6 +101,10 @@ class LitterBox:
         #: Optional deterministic fault injector (repro.inject), wired
         #: by the machine; ``None`` keeps Prolog injection-free.
         self.injector = None
+        #: Optional callback invalidating the interpreter's compiled
+        #: JIT traces, wired by the machine; called wherever the other
+        #: fast-path memos are revoked (quarantine trips).
+        self.jit_flush = None
         #: Containment policy state (set by the machine from its config).
         self.fault_policy = "abort"
         self.quarantine_threshold = 1
@@ -334,6 +338,11 @@ class LitterBox:
         # bumps the table generation).
         self.invalidate_transitions()
         self.kernel.flush_verdicts()
+        # Compiled JIT traces are revoked with them: a trace compiled
+        # before the quarantine must never be re-entered under the new
+        # policy (the cache generation bump makes that structural).
+        if self.jit_flush is not None:
+            self.jit_flush()
         if self.tracer is not None:
             self.tracer.instant("contain", "contain:quarantine",
                                 env=env.name, fault=str(fault),

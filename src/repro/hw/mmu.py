@@ -360,6 +360,27 @@ class MMU:
         self.perf.word_slow += 1
         self.write(ctx, vaddr, _WORD.pack(_wrap64(value)), False)
 
+    def read_frame(self, ctx: TranslationContext, vaddr: int) -> bytearray:
+        """Checked read access returning the backing frame (for
+        single-page structure reads that unpack in place, e.g. slice
+        descriptors).  Open-codes the TLB-hit path like the word/byte
+        helpers above — counters and enforcement are exactly
+        :meth:`_access`'s."""
+        if self.inject is None:
+            entry = ctx.tlb.get((vaddr >> PAGE_SHIFT) * 4)
+            if entry is not None:
+                pte, frame, table, tgen, ept, egen = entry
+                if table is ctx.page_table and tgen == table.gen \
+                        and ept is ctx.ept \
+                        and (ept is None or egen == ept.gen) \
+                        and (pte.user or not ctx.user):
+                    pkru = ctx.pkru
+                    if pkru is None or not ctx.user \
+                            or not (pkru >> (2 * pte.pkey)) & 0x1:
+                        self.perf.tlb_hits += 1
+                        return frame
+        return self._access(ctx, vaddr, "r")[1]
+
     def read_byte(self, ctx: TranslationContext, vaddr: int,
                   charge: bool = True) -> int:
         if charge:

@@ -39,12 +39,14 @@ from repro.hw.cpu import CPU
 from repro.hw.mmu import MMU, wrap64
 from repro.hw.pages import PAGE_SHIFT
 from repro.isa.instr import Instr
+from repro.isa.jit import JitCompiler
 from repro.isa.opcodes import (
     DISPATCH_SLOTS,
     FUSED_BASE,
     FUSED_INDEX,
     FUSED_PAIRS,
     INSTR_SIZE,
+    JIT_OP,
     NUM_OPCODES,
     Op,
 )
@@ -79,12 +81,21 @@ _U64 = (1 << 64) - 1
 class Interpreter:
     """Executes instructions against a :class:`CPU`."""
 
-    def __init__(self, mmu: MMU, clock: SimClock, fusion: bool = True):
+    def __init__(self, mmu: MMU, clock: SimClock, fusion: bool = True,
+                 jit: bool = False, jit_threshold: int = 8):
         self.mmu = mmu
         self.clock = clock
         self.perf = mmu.perf
         #: Whether register_code runs the superinstruction peephole.
         self.fusion = fusion
+        #: Trace-JIT compiler (None when the `jit` switch is off); see
+        #: :mod:`repro.isa.jit`.  Engaged only by the slice loops —
+        #: :meth:`step` always interprets.
+        self.jit = JitCompiler(self, jit_threshold) if jit else None
+        #: Architectural instructions retired by complete dispatch
+        #: groups of a JIT region before the group that faulted (see
+        #: :meth:`_jit_fault`); folded into :attr:`slice_executed`.
+        self._jit_partial = 0
         #: vaddr -> decoded instruction, filled by the loader.  Text pages
         #: are never writable, so the cache cannot go stale.
         self.code: dict[int, Instr] = {}
@@ -97,14 +108,28 @@ class Interpreter:
         #: Sim-time sampling profiler, wired by the machine.  Checked
         #: once per slice, never per instruction: the null path's loop
         #: body is untouched (see :meth:`_run_slice_profiled`).
-        self.profiler = None
+        self._profiler = None
         self._dispatch = _build_dispatch()
+
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        # Compiled traces bake in whether they drain the profiler at
+        # group boundaries, so changing the profiler invalidates them.
+        if value is not self._profiler and self.jit is not None:
+            self.jit.flush()
+        self._profiler = value
 
     def register_code(self, base: int, instrs: list[Instr]) -> None:
         code = self.code
         for offset, instr in enumerate(instrs):
             code[base + offset * INSTR_SIZE] = instr
         if not self.fusion:
+            if self.jit is not None:
+                self.jit.register(base, instrs)
             return
         # Peephole: overwrite the *first* address of each fusible pair
         # with a FusedInstr.  The second instruction stays at its own
@@ -128,6 +153,10 @@ class Interpreter:
             b = instrs[index + 1]
             code[pc0] = FusedInstr(slot, a, b, dispatch[a.op], dispatch[b.op])
             index += 2
+        if self.jit is not None:
+            # After fusion, so region discovery walks the real dispatch
+            # groups (a fused pair is one group).
+            self.jit.register(base, instrs)
 
     # -- single step -------------------------------------------------------
 
@@ -139,6 +168,8 @@ class Interpreter:
             raw = self.mmu.read(cpu.ctx, cpu.pc, INSTR_SIZE, charge=False)
             instr = Instr.decode(raw)
             self.code[cpu.pc] = instr
+        elif instr.op >= JIT_OP:
+            instr = instr.orig
         return instr
 
     def step(self, cpu: CPU) -> int:
@@ -165,6 +196,12 @@ class Interpreter:
             instr = Instr.decode(raw)
             self.code[pc] = instr
         op = instr.op
+        if op >= JIT_OP:
+            # Single-step always interprets; region entry is a slice-
+            # loop concern (warm-up counting included, so step-driven
+            # runs stay deterministic).
+            instr = instr.orig
+            op = instr.op
         self.perf.op_counts[op] += 1
         handler = self._dispatch[op]
         if handler is None:  # pragma: no cover
@@ -193,6 +230,8 @@ class Interpreter:
         perf = self.perf
         op_counts = perf.op_counts
         mmu = self.mmu
+        jit_op = JIT_OP
+        self._jit_partial = 0
         try:
             while executed < budget:
                 pc = cpu.pc
@@ -212,6 +251,16 @@ class Interpreter:
                     instr = Instr.decode(raw)
                     code[pc] = instr
                 op = instr.op
+                if op >= jit_op:
+                    fn = instr.fn
+                    if fn is not None and budget - executed >= instr.length \
+                            and len(cpu.operands) >= instr.min_depth:
+                        n = fn(self, cpu, budget - executed)
+                        if n:
+                            executed += n
+                            continue
+                    instr = self._jit_fallback(instr, cpu, budget - executed)
+                    op = instr.op
                 op_counts[op] += 1
                 handler = dispatch[op]
                 if handler is None:  # pragma: no cover
@@ -219,7 +268,7 @@ class Interpreter:
                 handler(self, cpu, instr)
                 executed += 1 if op < FUSED_BASE else 2
         finally:
-            self.slice_executed = executed
+            self.slice_executed = executed + self._jit_partial
         return executed
 
     def _run_slice_profiled(self, cpu: CPU, budget: int) -> int:
@@ -235,6 +284,8 @@ class Interpreter:
         mmu = self.mmu
         profiler = self.profiler
         clock = self.clock
+        jit_op = JIT_OP
+        self._jit_partial = 0
         try:
             while executed < budget:
                 pc = cpu.pc
@@ -254,6 +305,19 @@ class Interpreter:
                     instr = Instr.decode(raw)
                     code[pc] = instr
                 op = instr.op
+                if op >= jit_op:
+                    fn = instr.fn
+                    if fn is not None and budget - executed >= instr.length \
+                            and len(cpu.operands) >= instr.min_depth:
+                        # Profiled traces drain at their own group
+                        # boundaries (including the last), so no drain
+                        # is due here.
+                        n = fn(self, cpu, budget - executed)
+                        if n:
+                            executed += n
+                            continue
+                    instr = self._jit_fallback(instr, cpu, budget - executed)
+                    op = instr.op
                 op_counts[op] += 1
                 handler = dispatch[op]
                 if handler is None:  # pragma: no cover
@@ -263,8 +327,86 @@ class Interpreter:
                 if profiler.next_due <= clock.now_ns:
                     profiler.drain_retire(pc)
         finally:
-            self.slice_executed = executed
+            self.slice_executed = executed + self._jit_partial
         return executed
+
+    # -- JIT cooperation ------------------------------------------------------
+
+    def _jit_fallback(self, entry, cpu: CPU, remaining: int):
+        """A region entry could not run compiled: count why, warm cold
+        regions, and hand the displaced instruction to the interpreter
+        (which *is* the deopt path — it executes the region exactly)."""
+        if entry.fn is None:
+            self.jit.warm(entry)
+        else:
+            deopts = self.perf.jit_deopts
+            if remaining < entry.length:
+                reason = "budget"
+            elif len(cpu.operands) < entry.min_depth:
+                reason = "depth"
+            else:
+                reason = "guard"
+            deopts[reason] = deopts.get(reason, 0) + 1
+        return entry.orig
+
+    def _jit_fault(self, cpu: CPU, entry_pc: int, done: int = 0) -> None:
+        """Called from a compiled trace's except hook before it
+        re-raises: replay the per-dispatch accounting the interpreter
+        would have recorded up to the faulting instruction.
+
+        ``done`` is the architectural count of *complete loop
+        iterations* (0 for straight-line traces).  ``cpu.pc`` was
+        synced by the trace before the faulting op.  Interpreted
+        execution increments ``op_counts`` *before* a dispatch and
+        ``executed`` only *after* a handler returns, so every complete
+        group plus the faulting group is counted, while
+        :attr:`slice_executed` (via ``_jit_partial``) covers complete
+        groups only — a faulting fused pair contributes neither half,
+        exactly as in ``run_slice``.  Prevalidated locals retired
+        before the fault each took the word fast path, so their
+        ``word_fast``/``tlb_hits`` are replayed here too (the trace's
+        dynamic-word tallies were already flushed by its except hook).
+        """
+        perf = self.perf
+        deopts = perf.jit_deopts
+        deopts["fault"] = deopts.get("fault", 0) + 1
+        region = self.jit.entries[entry_pc].region
+        instrs = region.instrs
+        idx = (cpu.pc - entry_pc) // INSTR_SIZE
+        if idx < 0 or idx >= region.length:  # pragma: no cover
+            idx = 0
+        op_counts = perf.op_counts
+        iters = done // region.length
+        retired = done
+        before_fault = True
+        for slot, start, arch in region.groups:
+            # Every group ran once per complete iteration; in the
+            # faulting pass, groups up to and including the faulting
+            # one were dispatched (hence counted) once more.
+            op_counts[slot] += iters
+            if before_fault:
+                op_counts[slot] += 1
+                if start <= idx < start + arch:
+                    before_fault = False
+                else:
+                    retired += arch
+        n_local = sum(1 for ins in instrs
+                      if ins.op in (Op.LOADL, Op.STOREL))
+        if n_local:
+            pre = sum(1 for ins in instrs[:idx]
+                      if ins.op in (Op.LOADL, Op.STOREL))
+            extra = pre + n_local * iters
+            perf.word_fast += extra
+            perf.tlb_hits += extra
+        perf.jit_insns += retired
+        self._jit_partial = retired
+
+    def flush_jit(self) -> None:
+        """Invalidate all compiled traces (no-op when the JIT is off).
+        Wired to quarantine trips; any page-policy edit site may call
+        it."""
+        if self.jit is not None:
+            self.jit.flush()
 
     # -- helpers -------------------------------------------------------------
 

@@ -142,6 +142,12 @@ FUSED_PAIRS: tuple[tuple[int, int], ...] = tuple(
 FUSED_BASE = NUM_OPCODES
 DISPATCH_SLOTS = FUSED_BASE + len(FUSED_PAIRS)
 
+#: Pseudo-opcode of a JIT region entry (see :mod:`repro.isa.jit`).
+#: It sits one past the dispatch table so ``op >= JIT_OP`` is a single
+#: comparison in the slice loop; JIT entries never land in
+#: ``op_counts`` (regions account their constituent groups instead).
+JIT_OP = DISPATCH_SLOTS
+
 #: (op1, op2) -> fused dispatch slot.
 FUSED_INDEX: dict[tuple[int, int], int] = {
     pair: FUSED_BASE + i for i, pair in enumerate(FUSED_PAIRS)}

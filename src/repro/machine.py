@@ -71,6 +71,13 @@ class MachineConfig:
     transition_cache: bool = True
     #: Kernel (pkru, nr) -> seccomp verdict memo.
     verdict_cache: bool = True
+    # Trace-JIT (PR 6): compile hot straight-line regions to generated
+    # Python (see repro/isa/jit.py).  Wall-clock only, like the fast
+    # paths above: every simulated value is bit-identical with the JIT
+    # on or off, and jit=False restores pure interpretation exactly.
+    jit: bool = True
+    #: Interpreted entries of a region before it is compiled.
+    jit_threshold: int = 8
     # Observability (PR 5).  Both are wall-clock-only like the tracer:
     # they charge no simulated cost, so sim-ns is bit-identical with
     # either on or off.
@@ -117,6 +124,8 @@ class Machine:
                 "sim_time_ns",
                 "Simulated nanoseconds elapsed on this machine's clock."
             ).set_function(lambda: self.clock.now_ns)
+            self.metrics_registry.add_collector(
+                lambda: self.metrics.sync_jit(self.perf))
         #: Sim-time sampling profiler (``None`` unless ``config.profile``).
         self.profiler = (Profiler(self.clock, config.profile_period_ns,
                                   backend=config.backend)
@@ -131,7 +140,9 @@ class Machine:
         self.host_table = PageTable("host")
         self.kernel.host_table = self.host_table
         self.interp = Interpreter(self.mmu, self.clock,
-                                  fusion=config.fuse_superinstructions)
+                                  fusion=config.fuse_superinstructions,
+                                  jit=config.jit,
+                                  jit_threshold=config.jit_threshold)
         self.interp.profiler = self.profiler
         self.cpu = CPU(mmu=self.mmu, clock=self.clock)
         self.fault: Fault | None = None
@@ -147,6 +158,7 @@ class Machine:
         self.litterbox.tracer = self.tracer
         self.litterbox.metrics = self.metrics
         self.litterbox.profiler = self.profiler
+        self.litterbox.jit_flush = self.interp.flush_jit
         self.litterbox.trusted_ctx = TranslationContext(
             page_table=self.host_table, pkru=None)
 
@@ -176,7 +188,12 @@ class Machine:
         self.runtime = Runtime(self.mmu, self.allocator, self.scheduler,
                                self.channels, self.pkg_names)
         if self.metrics_registry is not None:
-            self.runtime.metrics_renderer = self.metrics_registry.render_text
+            # The in-sim /metrics route must not run collectors: the
+            # JIT counters are wall-clock-only, and the response body's
+            # length is charged simulated time — including them would
+            # break jit on/off bit-identity.
+            self.runtime.metrics_renderer = (
+                lambda: self.metrics_registry.render_text(collect=False))
         self.kernel.net.waker = self.scheduler.wake
 
         # Fast-path kill-switches (wall-clock only; defaults stay on).

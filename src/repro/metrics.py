@@ -227,6 +227,21 @@ class MetricsRegistry:
     def __init__(self, const_labels: dict[str, str] | None = None) -> None:
         self._families: dict[str, MetricFamily] = {}
         self.const_labels = tuple(sorted((const_labels or {}).items()))
+        self._collectors: list = []
+
+    def add_collector(self, fn) -> None:
+        """Register ``fn`` to run before each exposition render.
+
+        Collectors pull values from sources that update continuously
+        (e.g. the interpreter's JIT counters) so the registry never
+        sits on hot paths.  The in-simulation ``/metrics`` route skips
+        them (``collect=False``): wall-clock-only state must not leak
+        into a simulated response body, whose length is charged."""
+        self._collectors.append(fn)
+
+    def _collect(self) -> None:
+        for fn in self._collectors:
+            fn()
 
     def _register(self, family: MetricFamily) -> MetricFamily:
         if family.name in self._families:
@@ -250,8 +265,10 @@ class MetricsRegistry:
 
     # -- exposition ----------------------------------------------------------
 
-    def render_text(self) -> str:
+    def render_text(self, collect: bool = True) -> str:
         """Prometheus text format 0.0.4, byte-deterministic."""
+        if collect:
+            self._collect()
         out: list[str] = []
         for name in sorted(self._families):
             family = self._families[name]
@@ -261,7 +278,9 @@ class MetricsRegistry:
                 out.append(f"{series} {_fmt(value)}")
         return "\n".join(out) + "\n"
 
-    def render_json(self) -> str:
+    def render_json(self, collect: bool = True) -> str:
+        if collect:
+            self._collect()
         doc: dict[str, dict] = {}
         for name in sorted(self._families):
             family = self._families[name]
@@ -317,6 +336,40 @@ class EnforcementMetrics:
             "http_request_latency_ns",
             "Per-request simulated latency through the macro workloads.",
             ("workload",))
+        # JIT observability (wall-clock only; synced from PerfStats by
+        # a render-time collector, never by the interpreter hot loop).
+        self.jit_traces_compiled = registry.counter(
+            "jit_traces_compiled_total",
+            "Trace regions compiled to Python by the interpreter JIT.")
+        self.jit_trace_executions = registry.counter(
+            "jit_trace_executions_total",
+            "Completed executions of compiled traces.")
+        self.jit_deopts = registry.counter(
+            "jit_deopts_total",
+            "Mid-trace deoptimizations back to the interpreter, by "
+            "reason.",
+            ("reason",))
+        self._jit_synced: dict[str, int] = {}
+
+    def sync_jit(self, perf) -> None:
+        """Mirror the interpreter's JIT counters into the exposition.
+
+        Called by the registry's collector hook at render time.
+        Counters only move forward, so the delta since the previous
+        sync is added — repeated scrapes stay monotonic."""
+        synced = self._jit_synced
+
+        def bump(counter, key, value, **labels):
+            delta = value - synced.get(key, 0)
+            if delta > 0:
+                counter.inc(delta, **labels)
+                synced[key] = value
+
+        bump(self.jit_traces_compiled, "compiled", perf.jit_traces_compiled)
+        bump(self.jit_trace_executions, "executions",
+             perf.jit_trace_executions)
+        for reason, count in perf.jit_deopts.items():
+            bump(self.jit_deopts, f"deopt:{reason}", count, reason=reason)
 
 
 # -- validation ---------------------------------------------------------------

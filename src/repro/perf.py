@@ -47,6 +47,8 @@ class PerfStats:
                  "fetch_slow", "word_fast", "word_slow", "op_counts",
                  "trans_hits", "trans_misses",
                  "verdict_hits", "verdict_misses",
+                 "jit_traces_compiled", "jit_trace_executions",
+                 "jit_insns", "jit_deopts", "jit_flushes",
                  "runs")
 
     def __init__(self) -> None:
@@ -84,9 +86,25 @@ class PerfStats:
         #: evaluated by the BPF interpreter.
         self.verdict_hits = 0
         self.verdict_misses = 0
+        #: Regions compiled to Python this run (cache misses only;
+        #: re-entering a warm trace compiles nothing).
+        self.jit_traces_compiled = 0
+        #: Completed executions of compiled traces.
+        self.jit_trace_executions = 0
+        #: Architectural instructions retired *inside* compiled traces
+        #: (complete groups only on a faulting execution).
+        self.jit_insns = 0
+        #: Deopt reason -> count: "budget" (slice too short), "depth"
+        #: (operand stack shallower than the region needs), "guard"
+        #: (locals-page prevalidation failed), "fault" (trace raised).
+        self.jit_deopts = {}
+        #: Whole-cache invalidations (quarantine trips, policy edits).
+        self.jit_flushes = 0
         #: Executed-instruction counts indexed by opcode value; slots at
         #: and above ``FUSED_BASE`` count fused-pair executions, one per
-        #: fusion kind.
+        #: fusion kind.  JIT traces batch into the same slots (the
+        #: fused pseudo-op for a fused group), so op_counts are
+        #: bit-identical with the JIT on or off.
         self.op_counts = [0] * _dispatch_slots()
 
     # -- derived -----------------------------------------------------------
@@ -115,9 +133,30 @@ class PerfStats:
         total = self.word_fast + self.word_slow
         return self.word_fast / total if total else 0.0
 
+    def expanded_ops(self) -> dict[str, int]:
+        """Per-opcode counts with fused (and therefore JIT-batched)
+        executions credited to their *constituent* opcodes as well as
+        the pseudo-op, so op-frequency analysis — hot-region detection,
+        ``repro report`` — agrees with an unfused run.  A fused
+        ``PUSH+ADD`` execution contributes 1 to ``PUSH``, 1 to ``ADD``,
+        and 1 to the ``PUSH+ADD`` row."""
+        from repro.isa.opcodes import FUSED_BASE, FUSED_NAMES, FUSED_PAIRS, Op
+        counts = self.op_counts
+        out: dict[str, int] = {}
+        for code in range(FUSED_BASE):
+            if counts[code]:
+                out[Op(code).name] = counts[code]
+        for i, (op1, op2) in enumerate(FUSED_PAIRS):
+            count = counts[FUSED_BASE + i]
+            if count:
+                name1, name2 = Op(op1).name, Op(op2).name
+                out[name1] = out.get(name1, 0) + count
+                out[name2] = out.get(name2, 0) + count
+                out[FUSED_NAMES[i]] = count
+        return out
+
     def top_ops(self, n: int = 10) -> list[tuple[str, int]]:
-        pairs = [(_op_name(code), count)
-                 for code, count in enumerate(self.op_counts) if count]
+        pairs = list(self.expanded_ops().items())
         pairs.sort(key=lambda item: item[1], reverse=True)
         return pairs[:n]
 
@@ -140,7 +179,12 @@ class PerfStats:
             "verdict_misses": self.verdict_misses,
             "fused_instructions": self.fused_instructions,
             "instructions": self.instructions,
-            "ops": dict(self.top_ops(n=len(self.op_counts))),
+            "jit_traces_compiled": self.jit_traces_compiled,
+            "jit_trace_executions": self.jit_trace_executions,
+            "jit_insns": self.jit_insns,
+            "jit_deopts": dict(sorted(self.jit_deopts.items())),
+            "jit_flushes": self.jit_flushes,
+            "ops": self.expanded_ops(),
         }
 
     def snapshot(self) -> dict:
@@ -148,6 +192,20 @@ class PerfStats:
         these between runs).  Alias of :meth:`as_dict` under the name
         the tooling expects."""
         return self.as_dict()
+
+    def describe_jit(self) -> str:
+        """One-line JIT summary (``--stats`` and ``--jit-stats``)."""
+        insns = self.instructions
+        share = (self.jit_insns / insns) if insns else 0.0
+        deopts = ", ".join(f"{reason}:{count}" for reason, count
+                           in sorted(self.jit_deopts.items())) or "none"
+        line = (f"jit: {self.jit_traces_compiled} traces compiled, "
+                f"{self.jit_trace_executions} executions covering "
+                f"{self.jit_insns} instructions ({100 * share:.1f}%), "
+                f"deopts {deopts}")
+        if self.jit_flushes:
+            line += f", {self.jit_flushes} cache flushes"
+        return line
 
     def describe(self, top: int = 8) -> list[str]:
         """Human-readable counter lines for ``--stats`` output."""
@@ -167,6 +225,7 @@ class PerfStats:
             f"{self.verdict_misses} misses",
             f"fused: {self.fused_instructions} of {insns} instructions "
             f"retired through superinstructions",
+            self.describe_jit(),
         ]
         if insns:
             hot = ", ".join(f"{name}:{count}"

@@ -15,6 +15,8 @@ that makes LBMPK slower than LBVTX here.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.golite import compile_program
 from repro.image.elf import ElfImage
 from repro.image.linker import link
@@ -192,8 +194,12 @@ func main() {{
 """
 
 
+@lru_cache(maxsize=None)
 def build_bild_image(width: int = 32, height: int = 32,
                      iterations: int = 1) -> ElfImage:
+    # Safe to memoize: the linked image is immutable after `link` —
+    # machines copy section bytes into their own frames and build the
+    # interpreter's code/fusion/JIT state in per-machine dicts.
     deps = corpus.dependency_sources("bdep", BILD_PUBLIC_DEPS)
     sources = [BILD_SOURCE, app_source(width, height, iterations)] + deps
     objects = compile_program(sources)

@@ -16,6 +16,8 @@ count (and thus its overhead) low.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.golite import compile_program
 from repro.image.linker import link
 from repro.machine import Machine, MachineConfig
@@ -164,7 +166,10 @@ func main() {{
 """
 
 
+@lru_cache(maxsize=None)
 def build_fasthttp_image():
+    # Memoized: the linked image is immutable after `link` (machines
+    # copy sections into their own frames; see build_bild_image).
     deps = corpus.dependency_sources("fdep", FASTHTTP_PUBLIC_DEPS)
     sources = [FASTHTTP_SOURCE, SHARED_SOURCE, app_source()] + deps
     objects = compile_program(sources)

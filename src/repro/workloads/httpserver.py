@@ -10,6 +10,8 @@ system calls).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.golite import compile_program
 from repro.image.linker import link
 from repro.machine import Machine, MachineConfig
@@ -230,7 +232,10 @@ def http_source(metrics: bool = False) -> str:
         "        processBody(buf, 28)\n    }\n" + _METRICS_ROUTE)
 
 
+@lru_cache(maxsize=None)
 def build_http_image(metrics: bool = False):
+    # Memoized: the linked image is immutable after `link` (machines
+    # copy sections into their own frames; see build_bild_image).
     objects = compile_program([http_source(metrics), app_source()])
     from repro.workloads import corpus
     corpus.stamp_loc(objects, {"main": 31})

@@ -30,7 +30,8 @@ from tests.fig1 import build_image
 from tests.golite_helpers import run_golite
 from tests.harness import TEXT_BASE, MiniMachine
 
-KNOBS = ["fuse_superinstructions", "transition_cache", "verdict_cache"]
+KNOBS = ["fuse_superinstructions", "transition_cache", "verdict_cache",
+         "jit"]
 ENFORCING = ["mpk", "vtx"]
 
 
@@ -99,6 +100,65 @@ class TestObservabilityBitIdentity:
         assert _http_snapshot(run_fasthttp_server, "mpk") == \
             _http_snapshot(run_fasthttp_server, "mpk",
                            metrics=True, profile=True)
+
+
+class TestJitBitIdentity:
+    """The tracing JIT (INTERNALS.md §13) under the same contract as
+    the other fast paths, exercised through its hardest corners:
+    deterministic fault injection, quarantine containment, and with
+    every observer enabled at once."""
+
+    def test_identical_under_fault_injection(self):
+        def snap(jit):
+            driver = run_http_server("mpk", config=MachineConfig(
+                backend="mpk", jit=jit, fault_policy="kill-goroutine",
+                inject="eagain@*:nr=0,every=2"))
+            responses = [driver.request() for _ in range(6)]
+            return (driver.machine.clock.now_ns, responses)
+        assert snap(True) == snap(False)
+
+    def test_identical_under_quarantine_with_metrics(self):
+        def snap(jit):
+            driver = run_http_server("mpk", config=MachineConfig(
+                backend="mpk", jit=jit, metrics=True,
+                fault_policy="quarantine", quarantine_threshold=2,
+                inject="pkey@main_1:every=3"))
+            responses = [driver.request() for _ in range(8)]
+            machine = driver.machine
+            report = machine.containment_report()
+            return (machine.clock.now_ns, responses,
+                    len(report["contained"]),
+                    sorted(report["quarantined"]))
+        assert snap(True) == snap(False)
+
+    def test_identical_with_all_observers_enabled(self):
+        def snap(jit):
+            machine = run_bild("mpk", 16, 16, 1, config=MachineConfig(
+                backend="mpk", jit=jit, trace=True, metrics=True,
+                profile=True))
+            return (machine.clock.now_ns, machine.stdout,
+                    machine.tracer.summary())
+        assert snap(True) == snap(False)
+
+    def test_jit_engages_on_macro_workloads(self):
+        driver = run_http_server("mpk")
+        for _ in range(5):
+            driver.request()
+        perf = driver.machine.perf
+        assert perf.jit_traces_compiled > 0
+        assert perf.jit_trace_executions > 0
+        # Traces retire the bulk of the instruction stream.
+        assert perf.jit_insns > perf.instructions // 2
+
+    def test_kill_switch_zeroes_the_counters(self):
+        machine = run_bild("mpk", 16, 16, 1,
+                           config=MachineConfig(backend="mpk", jit=False))
+        perf = machine.perf
+        assert perf.jit_traces_compiled == 0
+        assert perf.jit_trace_executions == 0
+        assert perf.jit_insns == 0
+        assert perf.jit_deopts == {}
+        assert machine.interp.jit is None
 
 
 class TestEngagement:
