@@ -36,6 +36,8 @@ class SshService:
 
     def on_data(self, endpoint: Endpoint) -> None:
         data = endpoint.recv(1 << 20)
+        if not isinstance(data, bytes):
+            return
         for line in data.decode("utf-8", "replace").splitlines():
             if line.startswith("AUTH "):
                 self._authed[id(endpoint)] = \

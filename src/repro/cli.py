@@ -268,6 +268,57 @@ def cmd_macro(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop saturation sweep against the async (epoll-style) server.
+
+    For each backend (and fault policy, with ``--containment both``),
+    sweeps offered load over ``--offered`` and prints a
+    goodput-vs-offered-load capacity table with p50/p99/p999 tail
+    latency; deterministic for a fixed ``--seed``.
+    """
+    import json
+
+    from repro.workloads import loadgen
+
+    offered = tuple(float(x) for x in args.offered.split(","))
+    policies = {"on": ["quarantine"], "off": ["abort"],
+                "both": ["abort", "quarantine"]}[args.containment]
+    results = []
+    for backend in args.backends.split(","):
+        for policy in policies:
+            sweep = loadgen.run_sweep(
+                backend, offered=offered, requests=args.requests,
+                seed=args.seed, process=args.process, pool=args.pool,
+                maxconns=args.maxconns, backlog=args.backlog,
+                fault_policy=policy)
+            results.extend(sweep)
+            slo_ns = args.slo_ms * 1e6
+            capacity = loadgen.capacity_at_slo(sweep, slo_ns)
+            print(f"-- loadtest[{backend}/{policy}]: capacity at "
+                  f"p99<{args.slo_ms:g}ms = {capacity:.0f} req/s",
+                  file=sys.stderr)
+    table = loadgen.format_table(results, slo_ms=args.slo_ms)
+    if args.table:
+        pathlib.Path(args.table).write_text(table + "\n")
+        print(f"-- wrote capacity table to {args.table}", file=sys.stderr)
+    else:
+        print(table)
+    if args.report:
+        doc = [r.to_dict() for r in results]
+        pathlib.Path(args.report).write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        print(f"-- wrote loadtest report to {args.report}", file=sys.stderr)
+    # Sanity gate for CI: every request must be accounted for, and at
+    # least one level per backend must reach the server's saturation
+    # regime (goodput below offered) so the curve actually bends.
+    for r in results:
+        if r.ok + r.shed + r.refused + r.reset != r.requests:
+            print(f"repro: loadtest lost requests at "
+                  f"{r.backend}/{r.offered_rps}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Summarize observability artifacts: Prometheus expositions are
     validated and totalled; folded profiles get a perf-top table."""
@@ -399,6 +450,40 @@ def main(argv: list[str] | None = None) -> int:
     p_macro.add_argument("--stats", action="store_true")
     _add_observability_args(p_macro)
     p_macro.set_defaults(func=cmd_macro)
+
+    p_loadtest = sub.add_parser(
+        "loadtest", help="open-loop saturation sweep against the async "
+                         "HTTP server (goodput + tail latency)")
+    p_loadtest.add_argument("--backends", default="mpk,vtx,lwc",
+                            help="comma-separated backends to sweep")
+    p_loadtest.add_argument("--offered",
+                            default="5000,10000,20000,40000,80000",
+                            help="comma-separated offered loads (req/s)")
+    p_loadtest.add_argument("--requests", type=int, default=300,
+                            help="requests per offered-load level")
+    p_loadtest.add_argument("--process", default="poisson",
+                            choices=["poisson", "bursty"],
+                            help="arrival process")
+    p_loadtest.add_argument("--seed", type=int, default=1,
+                            help="arrival-process seed (runs are "
+                                 "deterministic for a fixed seed)")
+    p_loadtest.add_argument("--pool", type=int, default=8,
+                            help="keep-alive client connections")
+    p_loadtest.add_argument("--maxconns", type=int, default=64,
+                            help="server poll-set bound (503s beyond it)")
+    p_loadtest.add_argument("--backlog", type=int, default=64,
+                            help="kernel accept-queue bound")
+    p_loadtest.add_argument("--slo-ms", type=float, default=1.0,
+                            help="p99 SLO for the capacity figure (ms)")
+    p_loadtest.add_argument("--containment", default="off",
+                            choices=["on", "off", "both"],
+                            help="fault policy under load: on=quarantine, "
+                                 "off=abort")
+    p_loadtest.add_argument("--table", metavar="OUT.md", default=None,
+                            help="write the markdown capacity table")
+    p_loadtest.add_argument("--report", metavar="OUT.json", default=None,
+                            help="write per-level results as JSON")
+    p_loadtest.set_defaults(func=cmd_loadtest)
 
     p_report = sub.add_parser(
         "report", help="summarize --metrics/--profile artifacts")

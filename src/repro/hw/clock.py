@@ -58,6 +58,7 @@ class Costs:
     FS_BYTE: float = 0.035         # fs read/write per byte
     NET_BYTE: float = 0.045        # socket tx/rx per byte
     NET_SETUP: float = 420.0       # connection establishment
+    POLL_FD: float = 6.0           # poll readiness scan, per watched fd
 
     # Bulk memory (MEMCPY instruction, string helpers).
     MEM_BYTE: float = 0.12

@@ -195,6 +195,14 @@ class Machine:
             self.runtime.metrics_renderer = (
                 lambda: self.metrics_registry.render_text(collect=False))
         self.kernel.net.waker = self.scheduler.wake
+        if self.metrics is not None:
+            metrics = self.metrics
+            self.kernel.net.on_backlog = (
+                lambda port, depth:
+                metrics.accept_queue_depth.set(depth, port=str(port)))
+            self.kernel.net.on_refused = (
+                lambda port:
+                metrics.accept_queue_refused.inc(port=str(port)))
 
         # Fast-path kill-switches (wall-clock only; defaults stay on).
         self.litterbox.transition_cache_enabled = config.transition_cache

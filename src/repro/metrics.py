@@ -203,6 +203,33 @@ class Histogram(MetricFamily):
         child = self._children.get(self._key(labels))
         return child.count if child is not None else 0
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1) from bucket counts.
+
+        Linear interpolation within the bucket holding the target rank,
+        the standard Prometheus ``histogram_quantile`` estimate.  Values
+        in the ``+Inf`` bucket clamp to the largest finite bound.
+        Returns NaN for an empty child.  Deterministic: depends only on
+        bucket counts.
+        """
+        child = self._children.get(self._key(labels))
+        if child is None or child.count == 0:
+            return float("nan")
+        rank = q * child.count
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, child.counts):
+            if n:
+                cumulative += n
+                if cumulative >= rank:
+                    if bound == float("inf"):
+                        return lower
+                    frac = (rank - (cumulative - n)) / n
+                    return lower + frac * (bound - lower)
+            if bound != float("inf"):
+                lower = bound
+        return lower
+
     def samples(self, const):
         for key in sorted(self._children):
             child = self._children[key]
@@ -336,6 +363,16 @@ class EnforcementMetrics:
             "http_request_latency_ns",
             "Per-request simulated latency through the macro workloads.",
             ("workload",))
+        self.accept_queue_depth = registry.gauge(
+            "accept_queue_depth",
+            "Pending connections in a listener's accept queue "
+            "(backpressure signal; port cardinality is one per server).",
+            ("port",))
+        self.accept_queue_refused = registry.counter(
+            "accept_queue_refused_total",
+            "Connections refused because the accept queue was full "
+            "(kernel-level load shedding), by listener port.",
+            ("port",))
         # JIT observability (wall-clock only; synced from PerfStats by
         # a render-time collector, never by the interpreter hot loop).
         self.jit_traces_compiled = registry.counter(

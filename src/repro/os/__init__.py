@@ -10,7 +10,7 @@ from repro.os.fs import (
     O_TRUNC,
     O_WRONLY,
 )
-from repro.os.kernel import Kernel, SocketState
+from repro.os.kernel import Kernel, O_NONBLOCK, SocketState
 from repro.os.kvm import KVMDevice
 from repro.os.net import (
     LOCALHOST,
@@ -28,7 +28,7 @@ __all__ = [
     "errno", "syscalls",
     "FileSystem", "O_APPEND", "O_CREAT", "O_RDONLY", "O_RDWR", "O_TRUNC",
     "O_WRONLY",
-    "Kernel", "SocketState",
+    "Kernel", "O_NONBLOCK", "SocketState",
     "KVMDevice",
     "CollectorService", "Connection", "Endpoint", "Listener", "Network",
     "LOCALHOST", "ip_of", "ip_str",

@@ -15,9 +15,11 @@ ENOTDIR = 20
 EISDIR = 21
 EINVAL = 22
 ENFILE = 23
+EPIPE = 32
 ENOSYS = 38
 ENOTSOCK = 88
 EADDRINUSE = 98
+ECONNRESET = 104
 ECONNREFUSED = 111
 
 _NAMES = {

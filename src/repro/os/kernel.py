@@ -36,6 +36,11 @@ MMAP_BASE = 0x4000_0000
 UID = 1000
 PID = 4242
 
+#: ``SYS_FCNTL`` flag switching a socket to non-blocking mode (Linux
+#: O_NONBLOCK).  Accept/recv on a non-blocking socket return ``-EAGAIN``
+#: instead of parking the goroutine.
+O_NONBLOCK = 0x800
+
 
 @dataclass
 class SocketState:
@@ -44,6 +49,7 @@ class SocketState:
     kind: str = "unbound"  # unbound | listening | connected
     listener: Listener | None = None
     endpoint = None  # net.Endpoint
+    nonblocking: bool = False
 
 
 class Kernel:
@@ -131,7 +137,12 @@ class Kernel:
             sc.SYS_CLOCK_GETTIME: self._sys_clock_gettime,
             sc.SYS_NANOSLEEP: self._sys_nanosleep,
             sc.SYS_FUTEX: self._sys_futex,
+            sc.SYS_POLL: self._sys_poll,
+            sc.SYS_FCNTL: self._sys_fcntl,
         }
+        #: Rotating start index for the poll readiness scan (fairness:
+        #: a hot listener at slot 0 must not starve connected sockets).
+        self._poll_cursor = 0
 
     # -- entry point -------------------------------------------------------
 
@@ -516,6 +527,10 @@ class Kernel:
             return -errno.EINVAL
         self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
         sock.listener.backlog = max(1, args[1])
+        # Shrinking below the current queue depth sheds (resets) the
+        # newest pending connections rather than silently exceeding the
+        # new bound.
+        self.net.shed_excess(sock.listener)
         return 0
 
     def _sys_accept(self, ctx, args) -> int:
@@ -524,8 +539,11 @@ class Kernel:
             return sock
         if sock.kind != "listening" or sock.listener is None:
             return -errno.EINVAL
-        conn = Network.accept(sock.listener)
+        conn = self.net.accept(sock.listener)
         if conn is None:
+            if sock.nonblocking:
+                self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+                return -errno.EAGAIN
             raise WouldBlock(sock.listener.wait_key)
         self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
         new = SocketState(kind="connected")
@@ -554,7 +572,13 @@ class Kernel:
     def _recv_common(self, ctx, sock: SocketState, buf: int, count: int) -> int:
         result = sock.endpoint.recv(count)
         if result is None:
+            if sock.nonblocking:
+                self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+                return -errno.EAGAIN
             raise WouldBlock(sock.endpoint.wait_key)
+        if isinstance(result, int):  # recv on a locally-closed endpoint
+            self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+            return result
         self.clock.charge(
             COSTS.SYSCALL_SERVICE_MIN + COSTS.NET_BYTE * len(result))
         if result:
@@ -587,6 +611,69 @@ class Kernel:
             sock.endpoint.close()
         self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
         return 0
+
+    def _sys_fcntl(self, ctx, args) -> int:
+        """``fcntl(fd, flags)``: only the O_NONBLOCK bit is modeled."""
+        sock = self._sock(args[0])
+        if isinstance(sock, int):
+            return sock
+        sock.nonblocking = bool(args[1] & O_NONBLOCK)
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN)
+        return 0
+
+    def _fd_ready(self, fd: int) -> bool:
+        """Poll readiness: would an operation on ``fd`` complete now?
+
+        Listening sockets are ready when the accept queue is non-empty;
+        connected sockets when bytes are buffered or either side closed
+        (the next op errors/EOFs rather than blocking).  Anything else —
+        files, bad fds — reports ready, because the corresponding
+        operation never parks.
+        """
+        obj = self._fds.get(fd)
+        if isinstance(obj, SocketState):
+            if obj.kind == "listening" and obj.listener is not None:
+                return bool(obj.listener.pending)
+            if obj.endpoint is not None:
+                ep = obj.endpoint
+                return bool(ep.rx) or ep.closed or ep.peer.closed
+        return True
+
+    def _sys_poll(self, ctx, args) -> int:
+        """``poll(fds_ptr, nfds)``: epoll-style readiness over an fd set.
+
+        The user passes a packed array of ``nfds`` little-endian 8-byte
+        fds; the return value is the *index* of one ready fd.  The scan
+        starts where the previous poll left off so a busy listener at
+        slot 0 cannot starve connected sockets.  With nothing ready the
+        goroutine parks on a per-goroutine key registered with every
+        watched socket; whichever becomes ready first wakes it, and the
+        retried syscall finds the ready index.  Cost is charged per fd
+        scanned — multiplexing thousands of connections is paid for.
+        """
+        fds_ptr, nfds = args[0], args[1]
+        if nfds <= 0:
+            return -errno.EINVAL
+        raw = self._copy_in(ctx, fds_ptr, nfds * 8)
+        self.clock.charge(COSTS.SYSCALL_SERVICE_MIN + COSTS.POLL_FD * nfds)
+        fds = [int.from_bytes(raw[i * 8:i * 8 + 8], "little")
+               for i in range(nfds)]
+        start = self._poll_cursor % nfds
+        for off in range(nfds):
+            idx = (start + off) % nfds
+            if self._fd_ready(fds[idx]):
+                self._poll_cursor = idx + 1
+                return idx
+        gid = self.current_gid() if self.current_gid is not None else 0
+        key = ("poll", gid)
+        for fd in fds:
+            obj = self._fds.get(fd)
+            if isinstance(obj, SocketState):
+                if obj.listener is not None:
+                    obj.listener.watchers.add(key)
+                elif obj.endpoint is not None:
+                    obj.endpoint.watchers.add(key)
+        raise WouldBlock(key)
 
     # -- identity / time / sync -----------------------------------------------
 

@@ -16,6 +16,7 @@ packed into an int (see :func:`ip_of`).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -62,6 +63,9 @@ class Endpoint:
     side: int  # 0 or 1
     rx: bytearray = field(default_factory=bytearray)
     closed: bool = False
+    #: Poll wait keys watching this endpoint for readiness (``SYS_POLL``
+    #: parks here when nothing is ready); woken and cleared on delivery.
+    watchers: set = field(default_factory=set)
 
     @property
     def peer(self) -> "Endpoint":
@@ -72,30 +76,45 @@ class Endpoint:
         return ("net_rx", id(self))
 
     def send(self, data: bytes) -> int:
-        """Deliver bytes to the peer's receive buffer."""
-        if self.closed or self.peer.closed:
-            return -errno.ECONNREFUSED
+        """Deliver bytes to the peer's receive buffer.
+
+        Writing on a locally-closed stream is ``EPIPE``; writing after
+        the peer went away is ``ECONNRESET`` — distinct from the
+        ``ECONNREFUSED`` a connection *attempt* gets, so load generators
+        can tell resets from capacity exhaustion.
+        """
+        if self.closed:
+            return -errno.EPIPE
+        if self.peer.closed:
+            return -errno.ECONNRESET
         self.peer.rx.extend(data)
         self.conn.network._delivered(self.peer)
         return len(data)
 
-    def recv(self, count: int) -> bytes | None:
+    def recv(self, count: int) -> bytes | int | None:
         """Take up to ``count`` buffered bytes.
 
-        Returns ``b""`` at orderly EOF (peer closed, buffer drained) and
-        ``None`` when the caller should block.
+        Returns ``b""`` at orderly EOF (peer closed, buffer drained),
+        a negative errno after a *local* close (a dead socket must
+        error, not fake EOF), and ``None`` when the caller should block.
         """
+        if self.closed:
+            return -errno.EBADF
         if self.rx:
             data = bytes(self.rx[:count])
             del self.rx[:count]
             return data
-        if self.peer.closed or self.closed:
+        if self.peer.closed:
             return b""
         return None
 
     def close(self) -> None:
         self.closed = True
-        self.conn.network._delivered(self.peer)  # wake peer (sees EOF)
+        network = self.conn.network
+        network._delivered(self.peer)  # wake peer (sees EOF)
+        # A poller watching *this* side must also re-check: readiness now
+        # reports "ready" (its next op will error rather than hang).
+        network._wake_watchers(self.watchers)
 
 
 @dataclass
@@ -121,11 +140,18 @@ class Connection:
 
 @dataclass
 class Listener:
-    """An in-simulation listening socket's accept queue."""
+    """An in-simulation listening socket's accept queue.
+
+    ``pending`` is a deque: open-loop load builds deep accept queues and
+    a list consumed with ``pop(0)`` is O(n) per accept — quadratic over
+    a burst.
+    """
 
     port: int
     backlog: int
-    pending: list[Connection] = field(default_factory=list)
+    pending: deque = field(default_factory=deque)
+    #: Poll wait keys watching this listener (see ``Endpoint.watchers``).
+    watchers: set = field(default_factory=set)
 
     @property
     def wait_key(self) -> tuple:
@@ -141,6 +167,12 @@ class Network:
         self._service_endpoints: dict[int, Service] = {}
         self.waker: Callable[[tuple], None] | None = None
         self.connections_log: list[tuple[int, int]] = []
+        #: Backpressure instrumentation, wired by the machine when
+        #: metrics are enabled: ``on_backlog(port, depth)`` after every
+        #: accept-queue depth change, ``on_refused(port)`` per
+        #: connection refused because the queue was full.
+        self.on_backlog: Callable[[int, int], None] | None = None
+        self.on_refused: Callable[[int], None] | None = None
 
     # -- host-side wiring -------------------------------------------------
 
@@ -152,6 +184,14 @@ class Network:
         if self.waker is not None:
             self.waker(key)
 
+    def _wake_watchers(self, watchers: set) -> None:
+        """Wake every parked poller watching a socket, then forget them
+        (a poller that blocks again re-registers its key)."""
+        if watchers:
+            for key in watchers:
+                self._wake(key)
+            watchers.clear()
+
     def _delivered(self, endpoint: Endpoint) -> None:
         """Bytes arrived at ``endpoint``: wake sim waiters / run services."""
         service = self._service_endpoints.get(id(endpoint))
@@ -159,6 +199,11 @@ class Network:
             service.on_data(endpoint)
         else:
             self._wake(endpoint.wait_key)
+            self._wake_watchers(endpoint.watchers)
+
+    def _backlog_changed(self, listener: Listener) -> None:
+        if self.on_backlog is not None:
+            self.on_backlog(listener.port, len(listener.pending))
 
     # -- kernel-facing operations ------------------------------------------
 
@@ -170,7 +215,20 @@ class Network:
         return listener
 
     def unbind(self, port: int) -> None:
-        self._listeners.pop(port, None)
+        """Tear down a listener, draining its accept queue.
+
+        Queued connections were never accepted: close their server
+        endpoints so the clients parked in recv observe EOF/reset
+        instead of hanging forever on a listener that no longer exists.
+        """
+        listener = self._listeners.pop(port, None)
+        if listener is None:
+            return
+        while listener.pending:
+            conn = listener.pending.popleft()
+            conn.server.close()
+        self._wake_watchers(listener.watchers)
+        self._backlog_changed(listener)
 
     def connect(self, ip: int, port: int) -> Connection | int:
         """Open a connection from inside the simulation (or from a host
@@ -185,19 +243,43 @@ class Network:
         listener = self._listeners.get(port)
         if listener is not None and ip == LOCALHOST:
             if len(listener.pending) >= listener.backlog:
+                if self.on_refused is not None:
+                    self.on_refused(port)
                 return -errno.ECONNREFUSED
             conn = Connection(self, ip, port)
             listener.pending.append(conn)
+            self._backlog_changed(listener)
             self._wake(listener.wait_key)
+            self._wake_watchers(listener.watchers)
             return conn
         return -errno.ECONNREFUSED
 
-    @staticmethod
-    def accept(listener: Listener) -> Connection | None:
+    def accept(self, listener: Listener) -> Connection | None:
         """Dequeue a pending connection; ``None`` if the caller should block."""
         if listener.pending:
-            return listener.pending.pop(0)
+            conn = listener.pending.popleft()
+            self._backlog_changed(listener)
+            return conn
         return None
+
+    def shed_excess(self, listener: Listener) -> int:
+        """Refuse the newest pending connections above the backlog.
+
+        Called when ``listen()`` shrinks the backlog below the current
+        queue depth: the excess is reset (server endpoint closed) rather
+        than letting the queue silently exceed its bound.  Returns the
+        number shed.
+        """
+        shed = 0
+        while len(listener.pending) > listener.backlog:
+            conn = listener.pending.pop()
+            conn.server.close()
+            shed += 1
+            if self.on_refused is not None:
+                self.on_refused(listener.port)
+        if shed:
+            self._backlog_changed(listener)
+        return shed
 
 
 class CollectorService:
@@ -217,7 +299,7 @@ class CollectorService:
 
     def on_data(self, endpoint: Endpoint) -> None:
         data = endpoint.recv(1 << 20)
-        if data:
+        if isinstance(data, bytes) and data:
             self.received.extend(data)
             if self.reply:
                 endpoint.send(self.reply)

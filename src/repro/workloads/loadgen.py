@@ -1,0 +1,376 @@
+"""Open-loop load generation against the async HTTP server.
+
+The Table 2 drivers are *closed-loop*: the next request starts only when
+the previous one finishes, so offered load can never exceed capacity
+and tail latency never shows queueing.  This module is the open-loop
+counterpart: request arrival times are drawn **in advance** from a
+seeded arrival process (Poisson or bursty) on the simulated clock, and
+a request's latency is measured from its *scheduled arrival* to the
+last byte of its response — client-side queueing behind a busy
+connection counts, which is what makes the p99/p999 curves blow up past
+saturation instead of plateauing.
+
+Mechanics:
+
+* a pool of ``pool`` keep-alive connections; arrivals are assigned
+  round-robin to slots and FIFO-queue behind a busy slot;
+* response completion is detected *synchronously at delivery time* by
+  registering a recorder on each client endpoint (the same
+  ``Network._service_endpoints`` hook the simulated Postgres uses), so
+  completion timestamps are exact sim-ns, not resume-loop granularity;
+* between arrivals the driver advances the SimClock directly (the
+  machine is idle — this is the load generator's think time);
+* outcomes are classified: ``ok`` (200), ``shed`` (server 503),
+  ``refused`` (kernel accept-queue refusal at connect), ``reset``
+  (connection died mid-request);
+* latencies are observed into the machine's ``http_request_latency_ns``
+  histogram (workload="loadgen") and quantiles are read back from it.
+
+Everything is deterministic for a fixed seed: arrivals are
+pre-generated, the simulation is single-threaded, and no wall-clock
+value is consulted anywhere.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.machine import MachineConfig
+from repro.os.net import LOCALHOST
+from repro.workloads import asynchttp
+
+WORKLOAD_LABEL = "loadgen"
+
+REQUEST_KEEPALIVE = (b"GET /index.html HTTP/1.1\r\n"
+                     b"Host: bench.local\r\n"
+                     b"User-Agent: openloop/1.0 (enclosure-bench)\r\n"
+                     b"Accept: text/html\r\n\r\n")
+
+
+# -- arrival processes --------------------------------------------------------
+
+def poisson_arrivals(rate_rps: float, count: int, seed: int) -> list[float]:
+    """``count`` arrival times (sim-ns) with exponential inter-arrivals."""
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(count):
+        t += rng.expovariate(rate_rps) * 1e9
+        out.append(t)
+    return out
+
+
+def bursty_arrivals(rate_rps: float, count: int, seed: int,
+                    cycle_ns: float = 20e6, duty: float = 0.25) -> list[float]:
+    """On/off-modulated Poisson: the same average ``rate_rps``, but all
+    arrivals land in the first ``duty`` fraction of each ``cycle_ns``
+    window at ``rate/duty`` intensity — production-shaped bursts."""
+    rng = random.Random(seed)
+    burst_rate = rate_rps / duty
+    window = cycle_ns * duty
+    t = 0.0
+    out = []
+    for _ in range(count):
+        t += rng.expovariate(burst_rate) * 1e9
+        while (t % cycle_ns) >= window:
+            # Jump to the start of the next burst window.
+            t = (t // cycle_ns + 1.0) * cycle_ns
+        out.append(t)
+    return out
+
+
+ARRIVAL_PROCESSES = {
+    "poisson": poisson_arrivals,
+    "bursty": bursty_arrivals,
+}
+
+
+# -- connection slots ---------------------------------------------------------
+
+class _Slot:
+    """One keep-alive connection plus its client-side FIFO of arrivals."""
+
+    __slots__ = ("conn", "queue", "inflight_arrival", "rxbuf")
+
+    def __init__(self) -> None:
+        self.conn = None
+        self.queue: list[float] = []       # scheduled arrival times, FIFO
+        self.inflight_arrival: float | None = None
+        self.rxbuf = bytearray()
+
+
+class _Recorder:
+    """Delivery-time observer on a slot's client endpoint.
+
+    ``Network._delivered`` invokes ``on_data`` synchronously when the
+    server writes, so response completion is stamped at the exact sim-ns
+    the last byte arrives."""
+
+    def __init__(self, gen: "OpenLoopLoadGen", slot: _Slot) -> None:
+        self.gen = gen
+        self.slot = slot
+
+    def on_connect(self, endpoint) -> None:  # pragma: no cover - unused
+        pass
+
+    def on_data(self, endpoint) -> None:
+        data = endpoint.recv(1 << 20)
+        if not isinstance(data, bytes):
+            return
+        if data:
+            self.slot.rxbuf.extend(data)
+            self.gen._drain_slot(self.slot)
+        else:
+            # EOF: the server closed this connection (shed responses
+            # close; resets mid-request land here too).
+            self.gen._slot_eof(self.slot)
+
+
+@dataclass
+class LoadResult:
+    """One offered-load level's outcome."""
+
+    backend: str
+    process: str
+    offered_rps: float
+    requests: int
+    policy: str = "abort"
+    ok: int = 0
+    shed: int = 0
+    refused: int = 0
+    reset: int = 0
+    duration_ns: float = 0.0
+    goodput_rps: float = 0.0
+    p50_ns: float = 0.0
+    p99_ns: float = 0.0
+    p999_ns: float = 0.0
+    latencies_ns: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "policy": self.policy,
+            "process": self.process,
+            "offered_rps": round(self.offered_rps, 1),
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "refused": self.refused,
+            "reset": self.reset,
+            "duration_ms": round(self.duration_ns / 1e6, 3),
+            "goodput_rps": round(self.goodput_rps, 1),
+            "p50_us": round(self.p50_ns / 1e3, 1),
+            "p99_us": round(self.p99_ns / 1e3, 1),
+            "p999_us": round(self.p999_ns / 1e3, 1),
+        }
+
+
+class OpenLoopLoadGen:
+    """Drives one machine through one pre-generated arrival schedule."""
+
+    def __init__(self, machine, arrivals: list[float], pool: int,
+                 port: int = asynchttp.PORT):
+        self.machine = machine
+        self.net = machine.kernel.net
+        self.clock = machine.clock
+        self.arrivals = arrivals
+        self.port = port
+        self.slots = [_Slot() for _ in range(max(1, pool))]
+        self.ok = 0
+        self.shed = 0
+        self.refused = 0
+        self.reset = 0
+        self.latencies: list[float] = []
+
+    # -- response accounting (runs synchronously at delivery) ----------------
+
+    def _complete(self, slot: _Slot, status: int, server_closes: bool) -> None:
+        latency = self.clock.now_ns - slot.inflight_arrival
+        slot.inflight_arrival = None
+        if status == 200:
+            self.ok += 1
+            self.latencies.append(latency)
+            metrics = self.machine.metrics
+            if metrics is not None:
+                metrics.request_latency.observe(
+                    latency, workload=WORKLOAD_LABEL)
+        elif status == 503:
+            self.shed += 1
+        else:
+            self.reset += 1
+        if server_closes:
+            self._drop_conn(slot)
+        self._pump_slot(slot)
+
+    def _drain_slot(self, slot: _Slot) -> None:
+        """Parse complete responses out of the slot's receive buffer."""
+        while slot.inflight_arrival is not None:
+            buf = slot.rxbuf
+            head_end = buf.find(b"\r\n\r\n")
+            if head_end < 0:
+                return
+            head = bytes(buf[:head_end])
+            length = 0
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            total = head_end + 4 + length
+            if len(buf) < total:
+                return
+            status = int(head.split(b" ", 2)[1])
+            closes = b"connection: close" in head.lower()
+            del buf[:total]
+            self._complete(slot, status, server_closes=closes)
+
+    def _slot_eof(self, slot: _Slot) -> None:
+        if slot.inflight_arrival is not None:
+            # Died mid-request with no complete response buffered.
+            self._complete(slot, -1, server_closes=True)
+        else:
+            self._drop_conn(slot)
+            self._pump_slot(slot)
+
+    def _drop_conn(self, slot: _Slot) -> None:
+        if slot.conn is not None:
+            self.net._service_endpoints.pop(id(slot.conn.client), None)
+            if not slot.conn.client.closed:
+                slot.conn.client.close()
+            slot.conn = None
+        slot.rxbuf.clear()
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _pump_slot(self, slot: _Slot) -> None:
+        """Start the next queued request, reconnecting as needed."""
+        while slot.inflight_arrival is None and slot.queue:
+            if slot.conn is None:
+                conn = self.net.connect(LOCALHOST, self.port)
+                if isinstance(conn, int):
+                    # Kernel accept queue full: instant refusal.
+                    slot.queue.pop(0)
+                    self.refused += 1
+                    continue
+                slot.conn = conn
+                self.net._service_endpoints[id(conn.client)] = \
+                    _Recorder(self, slot)
+            slot.inflight_arrival = slot.queue.pop(0)
+            sent = slot.conn.client.send(REQUEST_KEEPALIVE)
+            if sent < 0:
+                # Connection died between responses: retry on a new one.
+                arrival = slot.inflight_arrival
+                slot.inflight_arrival = None
+                slot.queue.insert(0, arrival)
+                self._drop_conn(slot)
+
+    def _resume(self) -> None:
+        if self.machine.resume().status == "faulted":
+            raise AssertionError(
+                f"server faulted under load: {self.machine.fault}")
+
+    def run(self) -> LoadResult:
+        arrivals = self.arrivals
+        total = len(arrivals)
+        start_ns = self.clock.now_ns
+        offset = start_ns  # schedule is relative to the run start
+        for next_idx, arrival in enumerate(arrivals):
+            due_at = offset + arrival
+            if self.clock.now_ns < due_at:
+                # Open-loop think time: jump the clock to the scheduled
+                # arrival.  (When the server has already burned past it,
+                # the request is dispatched late but its latency is
+                # still measured from ``due_at`` — queueing counts.)
+                self.clock.charge(due_at - self.clock.now_ns)
+            slot = self.slots[next_idx % len(self.slots)]
+            slot.queue.append(due_at)
+            self._pump_slot(slot)
+            self._resume()
+        # Drain: every arrival dispatched; let in-flight work finish.
+        progress = -1
+        while (done := self.ok + self.shed + self.refused + self.reset) \
+                < total and done != progress:
+            progress = done
+            self._resume()
+        duration = self.clock.now_ns - start_ns
+        result = LoadResult(
+            backend=self.machine.config.backend, process="",
+            offered_rps=0.0, requests=total,
+            ok=self.ok, shed=self.shed, refused=self.refused,
+            reset=self.reset, duration_ns=duration)
+        result.latencies_ns = sorted(self.latencies)
+        if duration > 0:
+            result.goodput_rps = self.ok / (duration * 1e-9)
+        metrics = self.machine.metrics
+        hist = (metrics.request_latency if metrics is not None else None)
+        if hist is not None and hist.child_count(workload=WORKLOAD_LABEL):
+            result.p50_ns = hist.quantile(0.50, workload=WORKLOAD_LABEL)
+            result.p99_ns = hist.quantile(0.99, workload=WORKLOAD_LABEL)
+            result.p999_ns = hist.quantile(0.999, workload=WORKLOAD_LABEL)
+        elif result.latencies_ns:
+            lats = result.latencies_ns
+            result.p50_ns = lats[int(0.50 * (len(lats) - 1))]
+            result.p99_ns = lats[int(0.99 * (len(lats) - 1))]
+            result.p999_ns = lats[int(0.999 * (len(lats) - 1))]
+        return result
+
+
+# -- sweeps -------------------------------------------------------------------
+
+DEFAULT_OFFERED = (5_000.0, 10_000.0, 20_000.0, 40_000.0, 80_000.0)
+
+
+def run_level(backend: str, offered_rps: float, requests: int, seed: int,
+              process: str = "poisson", pool: int = 8,
+              maxconns: int = asynchttp.DEFAULT_MAXCONNS,
+              backlog: int = asynchttp.DEFAULT_BACKLOG,
+              fault_policy: str = "abort",
+              config: MachineConfig | None = None) -> LoadResult:
+    """One offered-load level on a fresh machine."""
+    arrivals = ARRIVAL_PROCESSES[process](offered_rps, requests, seed)
+    if config is None:
+        config = MachineConfig(backend=backend, metrics=True,
+                               fault_policy=fault_policy)
+    machine = asynchttp.run_async_server(
+        backend, config=config, maxconns=maxconns, backlog=backlog)
+    gen = OpenLoopLoadGen(machine, arrivals, pool)
+    result = gen.run()
+    result.process = process
+    result.offered_rps = offered_rps
+    result.policy = fault_policy
+    return result
+
+
+def run_sweep(backend: str, offered: tuple[float, ...] = DEFAULT_OFFERED,
+              requests: int = 400, seed: int = 1, **kwargs) -> list[LoadResult]:
+    """Sweep offered load to saturation on one backend."""
+    return [run_level(backend, rps, requests, seed, **kwargs)
+            for rps in offered]
+
+
+def capacity_at_slo(results: list[LoadResult], slo_ns: float) -> float:
+    """Highest goodput among levels whose p99 met the SLO."""
+    best = 0.0
+    for r in results:
+        if r.ok and r.p99_ns <= slo_ns:
+            best = max(best, r.goodput_rps)
+    return best
+
+
+def format_table(results: list[LoadResult], slo_ms: float = 1.0) -> str:
+    """Markdown goodput-vs-offered-load table."""
+    lines = [
+        "| backend | policy | process | offered rps | ok | shed | refused "
+        "| reset | goodput rps | p50 µs | p99 µs | p999 µs | p99<SLO |",
+        "|" + "---|" * 13,
+    ]
+    slo_ns = slo_ms * 1e6
+    for r in results:
+        d = r.to_dict()
+        met = "yes" if (r.ok and r.p99_ns <= slo_ns) else "no"
+        lines.append(
+            f"| {r.backend} | {r.policy} "
+            f"| {r.process} | {d['offered_rps']:.0f} | {r.ok} | {r.shed} "
+            f"| {r.refused} | {r.reset} | {d['goodput_rps']:.0f} "
+            f"| {d['p50_us']:.1f} | {d['p99_us']:.1f} | {d['p999_us']:.1f} "
+            f"| {met} |")
+    return "\n".join(lines)

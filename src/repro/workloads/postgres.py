@@ -36,7 +36,7 @@ class PostgresService:
     def on_data(self, endpoint: Endpoint) -> None:
         buffer = self._buffers.setdefault(id(endpoint), bytearray())
         data = endpoint.recv(1 << 20)
-        if not data:
+        if not isinstance(data, bytes) or not data:
             return
         buffer.extend(data)
         while b"\n" in buffer:

@@ -127,9 +127,9 @@ class TestNetwork:
         listener = net.bind_listen(8080, 4)
         conn = net.connect(ip_of("127.0.0.1"), 8080)
         assert not isinstance(conn, int)
-        accepted = Network.accept(listener)
+        accepted = net.accept(listener)
         assert accepted is conn
-        assert Network.accept(listener) is None
+        assert net.accept(listener) is None
 
     def test_port_reuse_rejected(self):
         net = Network()
@@ -146,7 +146,7 @@ class TestNetwork:
         net = Network()
         listener = net.bind_listen(80, 4)
         conn = net.connect(ip_of("127.0.0.1"), 80)
-        Network.accept(listener)
+        net.accept(listener)
         conn.client.send(b"request")
         assert conn.server.recv(100) == b"request"
         conn.server.send(b"response")
@@ -156,7 +156,7 @@ class TestNetwork:
         net = Network()
         listener = net.bind_listen(80, 4)
         conn = net.connect(ip_of("127.0.0.1"), 80)
-        Network.accept(listener)
+        net.accept(listener)
         assert conn.server.recv(10) is None  # would block
         conn.client.close()
         assert conn.server.recv(10) == b""  # EOF
@@ -165,7 +165,7 @@ class TestNetwork:
         net = Network()
         listener = net.bind_listen(80, 4)
         conn = net.connect(ip_of("127.0.0.1"), 80)
-        Network.accept(listener)
+        net.accept(listener)
         conn.server.close()
         assert conn.client.send(b"x") < 0
 
