@@ -319,6 +319,55 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tenants(args: argparse.Namespace) -> int:
+    """Multi-tenant containment-under-load study.
+
+    Runs ~100 tenant tools, each in its own enclosure, behind the async
+    HTTP server: a no-injection all-healthy baseline leg, then the
+    mixed roster (injected faults + CPU/memory hogs under per-enclosure
+    quotas) at the same offered load.  Prints the markdown report per
+    backend; with ``--check-gates`` the exit status enforces the
+    containment gates (all misbehaving tenants quarantined/evicted, no
+    healthy tenant harmed, healthy p99 within 2x of baseline).
+    """
+    import json
+
+    from repro.workloads import tenants as tenants_mod
+
+    results = []
+    status = 0
+    for backend in args.backends.split(","):
+        report = tenants_mod.run_tenants_study(
+            backend, tenants=args.tenants, requests=args.requests,
+            offered_rps=args.rate, seed=args.seed, process=args.process,
+            pool=args.pool,
+            quotas=(args.quotas if args.quotas is not None
+                    else tenants_mod.DEFAULT_QUOTAS),
+            revive_limit=args.revive_limit,
+            faulty_frac=args.faulty_frac,
+            cpuhog_frac=args.cpuhog_frac,
+            memhog_frac=args.memhog_frac)
+        results.append(report)
+        print(tenants_mod.format_report(report))
+        print()
+        gates = report["gates"]
+        verdict = "pass" if all(gates.values()) else "FAIL"
+        print(f"-- tenants[{backend}]: p99 ratio {report['p99_ratio']}, "
+              f"{len(report['tenant_states'])} tenants contained, "
+              f"gates {verdict}", file=sys.stderr)
+        if args.check_gates and not all(gates.values()):
+            for name, ok in sorted(gates.items()):
+                if not ok:
+                    print(f"repro: tenants gate failed on {backend}: "
+                          f"{name}", file=sys.stderr)
+            status = 1
+    if args.report:
+        pathlib.Path(args.report).write_text(
+            json.dumps(results, indent=1, sort_keys=True) + "\n")
+        print(f"-- wrote tenants report to {args.report}", file=sys.stderr)
+    return status
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Summarize observability artifacts: Prometheus expositions are
     validated and totalled; folded profiles get a perf-top table."""
@@ -484,6 +533,43 @@ def main(argv: list[str] | None = None) -> int:
     p_loadtest.add_argument("--report", metavar="OUT.json", default=None,
                             help="write per-level results as JSON")
     p_loadtest.set_defaults(func=cmd_loadtest)
+
+    p_tenants = sub.add_parser(
+        "tenants", help="multi-tenant containment-under-load study "
+                        "(per-enclosure quotas + tenant lifecycle)")
+    p_tenants.add_argument("--backends", default="mpk",
+                           help="comma-separated backends to study")
+    p_tenants.add_argument("--tenants", type=int, default=100,
+                           help="tenant tools, one enclosure each")
+    p_tenants.add_argument("--requests", type=int, default=4000,
+                           help="requests per leg")
+    p_tenants.add_argument("--rate", type=float, default=10_000.0,
+                           help="offered load (req/s)")
+    p_tenants.add_argument("--process", default="poisson",
+                           choices=["poisson", "bursty"],
+                           help="arrival process")
+    p_tenants.add_argument("--seed", type=int, default=1,
+                           help="arrival-process seed (deterministic)")
+    p_tenants.add_argument("--pool", type=int, default=8,
+                           help="load-generator connection slots")
+    p_tenants.add_argument("--quotas",
+                           default=None,
+                           help="per-enclosure quota spec (default: the "
+                                "study's '*:steps=250000,spans=24')")
+    p_tenants.add_argument("--revive-limit", type=int, default=1,
+                           help="supervised revivals before eviction")
+    p_tenants.add_argument("--faulty-frac", type=float, default=0.10,
+                           help="fraction of tenants with injected faults")
+    p_tenants.add_argument("--cpuhog-frac", type=float, default=0.02,
+                           help="fraction of tenants spinning the CPU")
+    p_tenants.add_argument("--memhog-frac", type=float, default=0.03,
+                           help="fraction of tenants hoarding memory")
+    p_tenants.add_argument("--check-gates", action="store_true",
+                           help="exit nonzero unless every containment "
+                                "gate passes")
+    p_tenants.add_argument("--report", metavar="OUT.json", default=None,
+                           help="write the study reports as JSON")
+    p_tenants.set_defaults(func=cmd_tenants)
 
     p_report = sub.add_parser(
         "report", help="summarize --metrics/--profile artifacts")

@@ -59,6 +59,11 @@ class Backend(abc.ABC):
         quarantine registry already denies Prolog/Execute).  Default:
         nothing to revoke."""
 
+    def unquarantine(self, env: Environment) -> None:
+        """Undo :meth:`quarantine` for a supervised revival (tenant
+        lifecycle): restore the environment's hardware restrictions to
+        their pre-quarantine state.  Default: nothing was revoked."""
+
 
 class BaselineBackend(Backend):
     """No enforcement: enclosures behave as vanilla closures.

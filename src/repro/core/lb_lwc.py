@@ -45,6 +45,9 @@ class LWCBackend(Backend):
         super().__init__()
         self.trusted_table: PageTable | None = None
         self._current_env: Environment | None = None
+        #: env id -> present-vpn snapshot taken at quarantine time so a
+        #: supervised revival can undo ``revoke_all``.
+        self._quarantine_presence: dict[int, frozenset[int]] = {}
 
     # ------------------------------------------------------------------ init
 
@@ -177,4 +180,13 @@ class LWCBackend(Backend):
         """Hard-revoke the quarantined context's table: every page goes
         non-present, so the context cannot run even if re-installed."""
         if env.table is not None and env.table is not self.trusted_table:
+            self._quarantine_presence[env.id] = env.table.present_vpns()
             env.table.revoke_all()
+
+    def unquarantine(self, env: Environment) -> None:
+        """Supervised revival: restore the presence snapshot taken at
+        quarantine time (see :meth:`quarantine`); the generation bump in
+        ``restore_present`` invalidates stale TLB entries."""
+        snapshot = self._quarantine_presence.pop(env.id, None)
+        if snapshot is not None and env.table is not None:
+            env.table.restore_present(snapshot)

@@ -222,3 +222,9 @@ class MPKBackend(Backend):
         only the default key, so even a forged switch into it can no
         longer touch any package's data."""
         env.pkru = PKRU_DENY_ALL_BUT_0
+
+    def unquarantine(self, env: Environment) -> None:
+        """Supervised revival: recompute the environment's PKRU from its
+        memory view (the view itself never changed — only the cached
+        register value was revoked)."""
+        env.pkru = self._pkru_for(env)

@@ -71,6 +71,10 @@ class VTXBackend(Backend):
         self._arg_rules: dict[int, list] = {}
         for rule in arg_rules or []:
             self._arg_rules.setdefault(rule.nr, []).append(rule)
+        #: env id -> present-vpn snapshot taken when the environment was
+        #: quarantined (``revoke_all`` destroys the presence bits, so a
+        #: supervised revival needs them recorded up front).
+        self._quarantine_presence: dict[int, frozenset[int]] = {}
 
     # ------------------------------------------------------------------ init
 
@@ -257,4 +261,14 @@ class VTXBackend(Backend):
         guest table non-present, so even a forged CR3 write into it
         faults on the first access."""
         if env.table is not None and env.table is not self.trusted_table:
+            self._quarantine_presence[env.id] = env.table.present_vpns()
             env.table.revoke_all()
+
+    def unquarantine(self, env: Environment) -> None:
+        """Supervised revival: restore the presence snapshot taken at
+        quarantine time.  Sound because a quarantined enclosure cannot
+        allocate, so no Transfer retargets its pages while revoked; the
+        generation bump invalidates any stale TLB entries."""
+        snapshot = self._quarantine_presence.pop(env.id, None)
+        if snapshot is not None and env.table is not None:
+            env.table.restore_present(snapshot)

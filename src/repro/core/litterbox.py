@@ -348,6 +348,35 @@ class LitterBox:
                                 env=env.name, fault=str(fault),
                                 fault_kind=fault.kind, faults=count)
 
+    def revive(self, env_id: int) -> bool:
+        """Supervised revival of a quarantined environment (the tenant
+        lifecycle manager's restart path).  Undoes the hardware
+        revocation and clears the trip-wire count; returns ``False`` if
+        the environment was not quarantined.
+
+        The same fast-path revocations as the quarantine itself apply:
+        memoized transitions, seccomp verdicts, and compiled JIT traces
+        may all encode "env X is quarantined" decisions and must not
+        replay them after the revival.
+        """
+        if env_id not in self.quarantined:
+            return False
+        env = self.envs.get(env_id)
+        if env is None:
+            return False
+        del self.quarantined[env_id]
+        self.fault_counts[env_id] = 0
+        self.backend.unquarantine(env)
+        self.invalidate_transitions()
+        self.kernel.flush_verdicts()
+        if self.jit_flush is not None:
+            self.jit_flush()
+        if self.metrics is not None:
+            self.metrics.quarantined.set(0, env=env.name)
+        if self.tracer is not None:
+            self.tracer.instant("contain", "contain:revive", env=env.name)
+        return True
+
     # -------------------------------------------------------------- transfer
 
     def transfer(self, base: int, size: int, to_pkg: str) -> None:

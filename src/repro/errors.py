@@ -30,7 +30,7 @@ class Fault(SimError):
     Attributes:
         kind: one of ``read``, ``write``, ``exec``, ``pkey``,
             ``non-present``, ``syscall``, ``call-site``, ``escalation``,
-            ``denied-entry``.
+            ``denied-entry``, ``quota``.
         addr: the faulting virtual address, if the fault is memory-related.
         detail: human-readable root cause.
         env_id / env_name: the execution environment the fault is
@@ -118,6 +118,26 @@ class QuarantinedFault(Fault):
                  env_name: str = ""):
         super().__init__("denied-entry", detail, env_id=env_id,
                          env_name=env_name)
+
+
+class QuotaFault(Fault):
+    """An enclosure exceeded a per-tenant resource quota.
+
+    Raised at the layer that meters the resource — the span allocator
+    (``spans``), the scheduler's slice accounting (``steps``), or the
+    kernel's fd table (``fds``) — and contained exactly like any other
+    fault: the offending goroutine dies at the trust boundary and the
+    overrun counts toward the enclosure's quarantine breaker.
+    """
+
+    def __init__(self, detail: str, resource: str, limit: int, used: int,
+                 env_id: int | None = None, env_name: str = "",
+                 pkg: str = ""):
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        super().__init__("quota", detail, env_id=env_id, env_name=env_name,
+                         pkg=pkg)
 
 
 class PolicyError(SimError):

@@ -120,6 +120,27 @@ class PageTable:
             self.gen += 1
         return updated
 
+    def present_vpns(self) -> frozenset[int]:
+        """The vpns currently mapped present.  ``revoke_all`` destroys
+        this information, so a revivable quarantine must snapshot it
+        first (see ``Backend.unquarantine``)."""
+        return frozenset(vpn for vpn, pte in self._entries.items()
+                         if pte.present)
+
+    def restore_present(self, vpns: frozenset[int]) -> int:
+        """Re-set the present bit on every still-mapped vpn of a
+        ``present_vpns`` snapshot (quarantine revival).  Returns the
+        PTEs updated; bumps the generation so stale TLB entries die."""
+        updated = 0
+        for vpn in vpns:
+            pte = self._entries.get(vpn)
+            if pte is not None and not pte.present:
+                self._entries[vpn] = replace(pte, present=True)
+                updated += 1
+        if updated:
+            self.gen += 1
+        return updated
+
     def clone(self, name: str = "") -> "PageTable":
         """Copy this table; used to derive per-environment tables."""
         table = PageTable(name)

@@ -73,13 +73,20 @@ class InjectClause:
                  count: int | None = None, p: float | None = None,
                  nr: int | None = None):
         if kind not in KINDS:
-            raise ConfigError(f"unknown injection kind {kind!r}")
+            raise ConfigError(f"unknown injection kind {kind!r} "
+                              f"(expected one of {', '.join(KINDS)})")
         if every < 1:
-            raise ConfigError(f"inject: every={every} must be >= 1")
+            raise ConfigError(f"every={every} must be >= 1")
         if after < 0:
-            raise ConfigError(f"inject: after={after} must be >= 0")
+            raise ConfigError(f"after={after} must be >= 0")
+        if count is not None and count < 0:
+            raise ConfigError(f"count={count} must be >= 0")
+        if p is not None and not 0.0 <= p <= 1.0:
+            raise ConfigError(f"p={p} must be within [0, 1]")
+        if nr is not None and nr < 0:
+            raise ConfigError(f"nr={nr} must be >= 0")
         if nr is not None and kind not in _TRANSIENT_KINDS:
-            raise ConfigError(f"inject: nr= only applies to eagain/eintr, "
+            raise ConfigError(f"nr= only applies to eagain/eintr, "
                               f"not {kind!r}")
         self.kind = kind
         self.env = env
@@ -142,7 +149,12 @@ def parse_inject_spec(spec: str) -> list[InjectClause]:
                     raise ConfigError(
                         f"inject clause {raw!r}: bad value {value!r} "
                         f"for {key!r}") from None
-        clauses.append(InjectClause(kind, env, **kwargs))
+        try:
+            clauses.append(InjectClause(kind, env, **kwargs))
+        except ConfigError as err:
+            # Name the offending clause: the spec usually arrives on the
+            # command line, where "which clause?" is the first question.
+            raise ConfigError(f"inject clause {raw!r}: {err}") from None
     if not clauses:
         raise ConfigError(f"inject spec {spec!r} has no clauses")
     return clauses

@@ -62,6 +62,11 @@ class MachineConfig:
     quarantine_threshold: int = 1
     #: Supervised restarts per killed goroutine (0 = never respawn).
     restart_limit: int = 0
+    #: Per-enclosure resource quotas (see :mod:`repro.quota`): a spec
+    #: string like ``"*:steps=450000,spans=16"`` or a pre-parsed target
+    #: map.  ``None`` (the default) leaves every metering hook a single
+    #: ``is None`` test, keeping sim-ns bit-identical.
+    quotas: str | dict | None = None
     # Wall-clock fast-path kill-switches (PR 4).  All three are
     # invisible to the cost model; they exist so the bit-identity test
     # suite can diff each fast path against its slow path.
@@ -218,6 +223,27 @@ class Machine:
         self.kernel.current_gid = lambda: (
             self.scheduler.current.id
             if self.scheduler.current is not None else 0)
+        # Per-enclosure resource quotas (multi-tenant platform).
+        self.quota = None
+        if config.quotas:
+            from repro.quota import QuotaTable
+            quota = QuotaTable(config.quotas)
+            quota.tracer = self.tracer
+            if self.metrics is not None:
+                metrics = self.metrics
+                quota.on_exceeded = (
+                    lambda env, resource:
+                    metrics.quota_exceeded.inc(env=env, resource=resource))
+            self.quota = quota
+            self.scheduler.quota = quota
+            self.allocator.quota = quota
+            self.kernel.quota = quota
+            self.kernel.quota_env = lambda: (
+                self.scheduler.current.env
+                if self.scheduler.current is not None else None)
+        if self.metrics is not None:
+            self.allocator.metrics = self.metrics
+
         self.injector = None
         if config.inject:
             injector = FaultInjector(config.inject, seed=config.inject_seed)
@@ -370,4 +396,6 @@ class Machine:
         }
         if self.injector is not None:
             report["injector"] = self.injector.report()
+        if self.quota is not None:
+            report["quota"] = self.quota.snapshot()
         return report

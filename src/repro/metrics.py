@@ -363,6 +363,30 @@ class EnforcementMetrics:
             "http_request_latency_ns",
             "Per-request simulated latency through the macro workloads.",
             ("workload",))
+        # Multi-tenant platform (quotas + lifecycle).  Tenant-labelled
+        # families are bounded by the platform's tenant count (the
+        # study's ~100), which the cardinality rules treat like the
+        # per-env enforcement counters above.
+        self.quota_exceeded = registry.counter(
+            "quota_exceeded_total",
+            "Per-enclosure resource-quota overruns by enclosure and "
+            "resource (steps/spans/fds).",
+            ("env", "resource"))
+        self.tenant_state = registry.gauge(
+            "tenant_state",
+            "One-hot tenant lifecycle state (draft/approved/live/"
+            "quarantined/evicted).",
+            ("tenant", "state"))
+        self.allocator_reclaimed_bytes = registry.counter(
+            "allocator_reclaimed_bytes_total",
+            "Heap bytes returned to the central free list by "
+            "Allocator.recycle_package, by recycled package.",
+            ("pkg",))
+        self.tenant_latency = registry.histogram(
+            "tenant_request_latency_ns",
+            "Per-tenant simulated request latency through the "
+            "multi-tenant platform.",
+            ("tenant",))
         self.accept_queue_depth = registry.gauge(
             "accept_queue_depth",
             "Pending connections in a listener's accept queue "

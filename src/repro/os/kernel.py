@@ -106,6 +106,15 @@ class Kernel:
         #: Bytes sent to the peer of a connected socket before it is
         #: reclaimed (e.g. an HTTP 500 so the client is not left hanging).
         self.reclaim_notice: bytes | None = None
+        #: Optional per-enclosure quota table plus a callable returning
+        #: the environment the current goroutine executes in (both
+        #: machine-wired); fd allocation charges the environment's fd
+        #: budget, close/reclaim release it.  ``None`` keeps the fd
+        #: allocator quota-free and bit-identical.
+        self.quota = None
+        self.quota_env: Callable[[], object] | None = None
+        #: fd -> enclosure name, for quota-charged fds only.
+        self._fd_env: dict[int, str] = {}
 
         self._handlers: dict[int, Callable] = {
             sc.SYS_READ: self._sys_read,
@@ -291,12 +300,27 @@ class Kernel:
         self.mmu.write(ctx, addr, data, charge=False)
 
     def _alloc_fd(self, obj: object) -> int:
+        charged = None
+        if self.quota is not None and self.quota_env is not None:
+            # Charged before the fd exists, so an overrun allocates
+            # nothing (QuotaFault propagates out of the syscall).
+            env = self.quota_env()
+            if env is not None and self.quota.charge_fd(env):
+                charged = env.name
         fd = self._next_fd
         self._next_fd += 1
         self._fds[fd] = obj
         if self.current_gid is not None:
             self.fd_owner[fd] = self.current_gid()
+        if charged is not None:
+            self._fd_env[fd] = charged
         return fd
+
+    def _release_fd_quota(self, fd: int) -> None:
+        if self.quota is not None:
+            name = self._fd_env.pop(fd, None)
+            if name is not None:
+                self.quota.release_fd(name)
 
     def _touch_fd(self, fd: int) -> None:
         """Transfer fd ownership to the goroutine actually using it.
@@ -323,6 +347,7 @@ class Kernel:
         for fd in owned:
             obj = self._fds.pop(fd, None)
             del self.fd_owner[fd]
+            self._release_fd_quota(fd)
             if obj is None:
                 continue
             if isinstance(obj, SocketState):
@@ -378,6 +403,7 @@ class Kernel:
     def _sys_close(self, ctx, args) -> int:
         fd = args[0]
         self.fd_owner.pop(fd, None)
+        self._release_fd_quota(fd)
         obj = self._fds.pop(fd, None)
         if obj is None:
             return -errno.EBADF

@@ -62,9 +62,20 @@ class Allocator:
     litterbox: LitterBox
     #: pkg -> size class -> active span
     _active: dict[str, dict[int, Span]] = field(default_factory=dict)
+    #: pkg -> dedicated large-object span runs (size class 0).  Tracked
+    #: so recycle_package can reclaim a package's *whole* arena — a
+    #: hoarder's dedicated runs must not outlive its eviction.
+    _large: dict[str, list[Span]] = field(default_factory=dict)
     _free_spans: list[Span] = field(default_factory=list)
     spans_created: int = 0
     bytes_allocated: int = 0
+    #: Optional per-enclosure quota table (machine-wired); ``None``
+    #: keeps every span grab quota-free and bit-identical.
+    quota: object | None = None
+    #: Optional enforcement metrics (machine-wired): recycle_package
+    #: reports reclaimed spans/bytes through
+    #: ``allocator_reclaimed_bytes_total{pkg}``.
+    metrics: object | None = None
 
     def alloc(self, pkg: str, size: int) -> int:
         """Allocate ``size`` bytes inside ``pkg``'s arena."""
@@ -78,6 +89,7 @@ class Allocator:
             # Large object: a dedicated span run, transferred directly.
             pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
             span = self._grab_span(pkg, pages, size_class=0)
+            self._large.setdefault(pkg, []).append(span)
             clock.charge(COSTS.ALLOC_SLOW)
             return span.bump(size)
         arena = self._active.setdefault(pkg, {})
@@ -93,12 +105,15 @@ class Allocator:
     def _grab_span(self, pkg: str, pages: int, size_class: int) -> Span:
         """Take a span from the free list or mmap a fresh one, then
         Transfer it into ``pkg``'s arena."""
+        if self.quota is not None:
+            # Charged before the span is acquired, so an overrun leaves
+            # the free list and the arena untouched (QuotaFault).
+            self.quota.charge_span(pkg)
         span = None
-        if pages == SPAN_PAGES:
-            for index, candidate in enumerate(self._free_spans):
-                if candidate.size == pages * PAGE_SIZE:
-                    span = self._free_spans.pop(index)
-                    break
+        for index, candidate in enumerate(self._free_spans):
+            if candidate.size == pages * PAGE_SIZE:
+                span = self._free_spans.pop(index)
+                break
         if span is None:
             base = self.litterbox.kernel.syscall(
                 SYS_MMAP, (0, pages * PAGE_SIZE, 3, 0), None, pkru=0)
@@ -116,16 +131,25 @@ class Allocator:
         """Release all of ``pkg``'s active spans to the central free list
         (they can be re-Transferred to any package later).  Returns the
         number of recycled spans."""
-        arena = self._active.pop(pkg, None)
-        if not arena:
+        arena = self._active.pop(pkg, None) or {}
+        spans = list(arena.values()) + self._large.pop(pkg, [])
+        if not spans:
             return 0
         count = 0
-        for span in arena.values():
+        reclaimed_bytes = 0
+        for span in spans:
             span.owner = ""
             span.cursor = 0
             self._free_spans.append(span)
             count += 1
+            reclaimed_bytes += span.size
+        if self.quota is not None:
+            self.quota.release_spans(pkg, count)
+        if self.metrics is not None:
+            self.metrics.allocator_reclaimed_bytes.inc(
+                reclaimed_bytes, pkg=pkg)
         return count
 
     def arena_spans(self, pkg: str) -> list[Span]:
-        return list(self._active.get(pkg, {}).values())
+        return (list(self._active.get(pkg, {}).values())
+                + list(self._large.get(pkg, ())))

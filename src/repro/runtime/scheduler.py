@@ -84,6 +84,11 @@ class Scheduler:
         #: How many times a killed goroutine may be respawned at its
         #: original entry (supervised restart, 0 = never).
         self.restart_limit = 0
+        #: Optional per-enclosure quota table (machine-wired): charged
+        #: one completed slice's instructions at every rotation, keyed
+        #: by the environment the goroutine ended the slice in.  ``None``
+        #: keeps the drive loop quota-free and bit-identical.
+        self.quota = None
         self._next_id = 1
 
     # -- creation ------------------------------------------------------------
@@ -181,6 +186,14 @@ class Scheduler:
                     interp.run_slice(self.cpu, self.TIME_SLICE)
                 finally:
                     total += interp.slice_executed
+                if self.quota is not None:
+                    # Slice-granular CPU metering: a goroutine that ran
+                    # its slice to exhaustion inside an enclosure is
+                    # charged against that enclosure's step budget; an
+                    # overrun raises QuotaFault into the containment
+                    # path below, exactly like a memory fault.
+                    self.quota.charge_steps(goroutine.env,
+                                            interp.slice_executed)
                 # Preemption point: rotate.
                 goroutine.state = "runnable"
                 goroutine.activation = self.cpu.save_activation()

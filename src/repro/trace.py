@@ -58,7 +58,7 @@ from repro.hw.clock import SimClock
 #: Categories an event may carry; also the category axis of the
 #: per-environment breakdown (``violation`` events are zero-duration).
 CATEGORIES = ("switch", "syscall", "transfer", "filter", "vm_exit",
-              "violation", "contain")
+              "violation", "contain", "quota")
 
 #: Chrome trace-event phases the exporter emits.
 _PHASES = ("X", "i", "M")

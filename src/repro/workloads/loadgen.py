@@ -140,6 +140,9 @@ class LoadResult:
     shed: int = 0
     refused: int = 0
     reset: int = 0
+    #: Enclosure faults contained by the server while absorbing this
+    #: level (nonzero only under a containing fault policy).
+    contained: int = 0
     duration_ns: float = 0.0
     goodput_rps: float = 0.0
     p50_ns: float = 0.0
@@ -158,6 +161,7 @@ class LoadResult:
             "shed": self.shed,
             "refused": self.refused,
             "reset": self.reset,
+            "contained": self.contained,
             "duration_ms": round(self.duration_ns / 1e6, 3),
             "goodput_rps": round(self.goodput_rps, 1),
             "p50_us": round(self.p50_ns / 1e3, 1),
@@ -337,6 +341,7 @@ def run_level(backend: str, offered_rps: float, requests: int, seed: int,
     result.process = process
     result.offered_rps = offered_rps
     result.policy = fault_policy
+    result.contained = len(machine.containment_report()["contained"])
     return result
 
 
@@ -360,8 +365,9 @@ def format_table(results: list[LoadResult], slo_ms: float = 1.0) -> str:
     """Markdown goodput-vs-offered-load table."""
     lines = [
         "| backend | policy | process | offered rps | ok | shed | refused "
-        "| reset | goodput rps | p50 µs | p99 µs | p999 µs | p99<SLO |",
-        "|" + "---|" * 13,
+        "| reset | contained | goodput rps | p50 µs | p99 µs | p999 µs "
+        "| p99<SLO |",
+        "|" + "---|" * 14,
     ]
     slo_ns = slo_ms * 1e6
     for r in results:
@@ -370,7 +376,8 @@ def format_table(results: list[LoadResult], slo_ms: float = 1.0) -> str:
         lines.append(
             f"| {r.backend} | {r.policy} "
             f"| {r.process} | {d['offered_rps']:.0f} | {r.ok} | {r.shed} "
-            f"| {r.refused} | {r.reset} | {d['goodput_rps']:.0f} "
+            f"| {r.refused} | {r.reset} | {r.contained} "
+            f"| {d['goodput_rps']:.0f} "
             f"| {d['p50_us']:.1f} | {d['p99_us']:.1f} | {d['p999_us']:.1f} "
             f"| {met} |")
     return "\n".join(lines)

@@ -310,6 +310,57 @@ class TestServerSurvival:
         # And the server still answers the next request normally.
         assert driver.request().startswith(b"HTTP/1.1 200")
 
+    def test_poisoned_keepalive_conn_gets_notice_and_fds_reclaimed(self):
+        """The async server holds keep-alive connections in its poll
+        set; when a poisoned in-flight request kills the serve
+        goroutine, every fd it owns (listener + kept connections) must
+        be reclaimed — the waiting client gets the 500 notice, nothing
+        leaks, and the supervised restart brings the server back."""
+        from repro.os.net import LOCALHOST
+        from repro.workloads import asynchttp
+
+        config = MachineConfig(backend="mpk",
+                               fault_policy="kill-goroutine",
+                               restart_limit=1,
+                               inject="pkey@main_1:after=1,count=1")
+        machine = asynchttp.run_async_server("mpk", config=config)
+        kernel = machine.kernel
+        fds_at_boot = len(kernel._fds)
+        req = b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"
+
+        conn = kernel.net.connect(LOCALHOST, asynchttp.PORT)
+        conn.client.send(req)
+        machine.resume()
+        first = conn.client.recv(1 << 20)
+        assert first.startswith(b"HTTP/1.1 200")
+        assert b"Connection: keep-alive" in first
+        assert not conn.server.closed          # parked in the poll set
+
+        # The second request on the same connection is poisoned: the
+        # serve goroutine dies mid-handler and reclaim pushes the 500
+        # notice into the kept connection before closing it.
+        conn.client.send(req)
+        machine.resume()
+        assert conn.client.recv(1 << 20) == ERROR_RESPONSE
+        assert conn.server.closed
+        killed = [g for g in machine.scheduler.goroutines
+                  if g.exit == "killed-by-fault"]
+        assert len(killed) == 1
+        assert all(owner != killed[0].id
+                   for owner in kernel.fd_owner.values())
+
+        # Supervised restart: the respawned server rebinds the listener
+        # and serves new connections; the fd table is back to boot size
+        # (no leak from the reclaimed keep-alive connection).
+        fresh = kernel.net.connect(LOCALHOST, asynchttp.PORT)
+        fresh.client.send(req)
+        machine.resume()
+        again = fresh.client.recv(1 << 20)
+        assert isinstance(again, bytes) and again.startswith(b"HTTP/1.1 200")
+        fresh.client.close()
+        machine.resume()
+        assert len(kernel._fds) == fds_at_boot
+
     def test_quarantine_fail_fast_turns_all_requests_to_errors(self):
         config = MachineConfig(backend="mpk", fault_policy="quarantine",
                                quarantine_threshold=1,

@@ -53,14 +53,37 @@ class TestSpecGrammar:
         "pkey@",                  # empty env
         "eagain@x:every=0",       # every must be >= 1
         "eagain@x:after=-1",      # negative after
+        "eagain@x:count=-1",      # negative count
+        "eagain@x:p=1.5",         # probability out of range
+        "eagain@x:p=-0.1",        # probability out of range
+        "eagain@x:nr=-2",         # negative syscall number
         "eagain@x:bogus=1",       # unknown option
         "eagain@x:every=abc",     # non-integer
+        "eagain@x:p=zzz",         # non-float
+        "eagain@x:every",         # option with no '='
         "pkey@x:nr=1",            # nr on a non-transient kind
         ";;",                     # no clauses at all
     ])
     def test_rejects_malformed_specs(self, bad):
         with pytest.raises(ConfigError):
             parse_inject_spec(bad)
+
+    @pytest.mark.parametrize("bad", [
+        "frobnicate@main_1",
+        "eagain@x:every=0",
+        "eagain@x:count=-1",
+        "eagain@x:p=1.5",
+        "pkey@x:nr=1",
+        "eagain@x:bogus=1",
+        "eagain@x:every=abc",
+    ])
+    def test_error_names_offending_clause(self, bad):
+        """A multi-clause spec's error must quote the bad clause's own
+        text, not just a generic message."""
+        spec = f"eagain@ok_1:every=2;{bad};eintr@ok_2"
+        with pytest.raises(ConfigError) as exc:
+            parse_inject_spec(spec)
+        assert repr(bad) in str(exc.value)
 
 
 class TestFiringDiscipline:

@@ -73,6 +73,27 @@ class TestAllocator:
         with pytest.raises(ConfigError):
             machine.allocator.alloc("libfx", 0)
 
+    def test_recycle_reports_reclaimed_bytes(self):
+        """recycle_package reports reclaimed spans through the
+        allocator_reclaimed_bytes_total{pkg} counter."""
+        machine = Machine(build_image(),
+                          MachineConfig(backend="mpk", metrics=True))
+        counter = machine.metrics.allocator_reclaimed_bytes
+        machine.allocator.alloc("libfx", 64)     # one small-object span
+        machine.allocator.alloc("libfx", 20_000)  # one dedicated run
+        spans = machine.allocator.arena_spans("libfx")
+        expected = sum(span.size for span in spans)
+        count = machine.allocator.recycle_package("libfx")
+        assert count == len(spans) == 2
+        assert counter.value(pkg="libfx") == expected
+        # A second recycle of the now-empty arena reclaims nothing.
+        assert machine.allocator.recycle_package("libfx") == 0
+        assert counter.value(pkg="libfx") == expected
+        # Without metrics, the same path stays silent and works.
+        bare = Machine(build_image(), MachineConfig(backend="mpk"))
+        bare.allocator.alloc("libfx", 64)
+        assert bare.allocator.recycle_package("libfx") == 1
+
 
 class TestChannels:
     def wake_log(self):
