@@ -290,12 +290,13 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 backend, offered=offered, requests=args.requests,
                 seed=args.seed, process=args.process, pool=args.pool,
                 maxconns=args.maxconns, backlog=args.backlog,
-                fault_policy=policy)
+                fault_policy=policy, cores=args.cores)
             results.extend(sweep)
             slo_ns = args.slo_ms * 1e6
             capacity = loadgen.capacity_at_slo(sweep, slo_ns)
             print(f"-- loadtest[{backend}/{policy}]: capacity at "
-                  f"p99<{args.slo_ms:g}ms = {capacity:.0f} req/s",
+                  f"p99<{args.slo_ms:g}ms = {capacity:.0f} req/s "
+                  f"(cores={args.cores})",
                   file=sys.stderr)
     table = loadgen.format_table(results, slo_ms=args.slo_ms)
     if args.table:
@@ -346,7 +347,8 @@ def cmd_tenants(args: argparse.Namespace) -> int:
             revive_limit=args.revive_limit,
             faulty_frac=args.faulty_frac,
             cpuhog_frac=args.cpuhog_frac,
-            memhog_frac=args.memhog_frac)
+            memhog_frac=args.memhog_frac,
+            cores=args.cores)
         results.append(report)
         print(tenants_mod.format_report(report))
         print()
@@ -524,6 +526,9 @@ def main(argv: list[str] | None = None) -> int:
                             help="kernel accept-queue bound")
     p_loadtest.add_argument("--slo-ms", type=float, default=1.0,
                             help="p99 SLO for the capacity figure (ms)")
+    p_loadtest.add_argument("--cores", type=int, default=1,
+                            help="simulated cores (one server worker "
+                                 "and listener port per core)")
     p_loadtest.add_argument("--containment", default="off",
                             choices=["on", "off", "both"],
                             help="fault policy under load: on=quarantine, "
@@ -564,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
                            help="fraction of tenants spinning the CPU")
     p_tenants.add_argument("--memhog-frac", type=float, default=0.03,
                            help="fraction of tenants hoarding memory")
+    p_tenants.add_argument("--cores", type=int, default=1,
+                           help="simulated cores for the platform machine")
     p_tenants.add_argument("--check-gates", action="store_true",
                            help="exit nonzero unless every containment "
                                 "gate passes")

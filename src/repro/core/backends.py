@@ -27,6 +27,13 @@ class Backend(abc.ABC):
 
     def __init__(self) -> None:
         self.litterbox: "LitterBox | None" = None
+        #: SMP hook ``fn()`` wired by the machine on multi-core
+        #: configurations: charge the IPI burst that forces every
+        #: *other* core to drop privilege state cached in registers
+        #: (PKRU) rather than in a page table — MPK quarantine revokes
+        #: by rewriting an environment's PKRU value, which no page-table
+        #: shootdown would otherwise cover.  ``None`` on one core.
+        self.remote_flush = None
 
     @abc.abstractmethod
     def init(self, litterbox: "LitterBox") -> None:

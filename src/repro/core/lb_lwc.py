@@ -44,7 +44,6 @@ class LWCBackend(Backend):
     def __init__(self) -> None:
         super().__init__()
         self.trusted_table: PageTable | None = None
-        self._current_env: Environment | None = None
         #: env id -> present-vpn snapshot taken at quarantine time so a
         #: supervised revival can undo ``revoke_all``.
         self._quarantine_presence: dict[int, frozenset[int]] = {}
@@ -73,7 +72,6 @@ class LWCBackend(Backend):
                                         present=False)
 
         kernel.mmap_hook = mmap_hook
-        self._current_env = litterbox.trusted_env
 
     def _build_context_table(self, env: Environment) -> PageTable:
         image = self.litterbox.image
@@ -109,7 +107,9 @@ class LWCBackend(Backend):
         # Installing a context root is a CR3 write: flush the TLB (the
         # CR3_WRITE charge above already accounts the simulated cost).
         self.litterbox.mmu.flush_tlb(cpu.ctx)
-        self._current_env = env
+        # Per-core state: SMP syscall filtering reads the environment
+        # last installed on the issuing core, not a backend global.
+        cpu.current_env = env
 
     # --------------------------------------------------------------- transfer
 
@@ -146,7 +146,7 @@ class LWCBackend(Backend):
         no seccomp program, no hypercall."""
         tracer = self.litterbox.tracer
         metrics = self.litterbox.metrics
-        env = self._current_env or self.litterbox.trusted_env
+        env = cpu.current_env or self.litterbox.trusted_env
         if not env.allows_syscall(nr):
             if tracer is not None:
                 tracer.instant("filter", "filter:deny",

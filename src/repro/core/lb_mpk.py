@@ -220,11 +220,20 @@ class MPKBackend(Backend):
     def quarantine(self, env: Environment) -> None:
         """Hard-revoke: the quarantined environment's PKRU value keeps
         only the default key, so even a forged switch into it can no
-        longer touch any package's data."""
+        longer touch any package's data.
+
+        On SMP the revocation must reach cores that may be running with
+        the stale PKRU in their register right now — a pure register
+        rewrite gets no page-table shootdown, so the machine's
+        ``remote_flush`` hook charges the explicit IPI round."""
         env.pkru = PKRU_DENY_ALL_BUT_0
+        if self.remote_flush is not None:
+            self.remote_flush()
 
     def unquarantine(self, env: Environment) -> None:
         """Supervised revival: recompute the environment's PKRU from its
         memory view (the view itself never changed — only the cached
         register value was revoked)."""
         env.pkru = self._pkru_for(env)
+        if self.remote_flush is not None:
+            self.remote_flush()

@@ -64,8 +64,6 @@ class VTXBackend(Backend):
         self.kvm = kvm
         self.vm = None
         self.trusted_table: PageTable | None = None
-        #: Which CPU is currently running which environment (single vCPU).
-        self._current_env: Environment | None = None
         #: §6.5 extension: argument-granular rules enforced by the guest
         #: OS handler (nr -> list of ArgRule).
         self._arg_rules: dict[int, list] = {}
@@ -110,7 +108,6 @@ class VTXBackend(Backend):
 
         kernel.mmap_hook = mmap_hook
         self.vm.launch(self.trusted_table)
-        self._current_env = litterbox.trusted_env
 
     def _build_env_table(self, env: Environment) -> PageTable:
         """Create the per-enclosure guest page table from its view."""
@@ -149,7 +146,9 @@ class VTXBackend(Backend):
         # A CR3 write flushes the TLB (no PCID in this model); the
         # simulated cost is already inside write_cr3's CR3_WRITE charge.
         self.litterbox.mmu.flush_tlb(cpu.ctx)
-        self._current_env = env
+        # Per-vCPU state: each simulated core tracks which environment
+        # it is running, so SMP syscall filtering stays core-accurate.
+        cpu.current_env = env
 
     # --------------------------------------------------------------- transfer
 
@@ -209,7 +208,7 @@ class VTXBackend(Backend):
         clock.charge(COSTS.GUEST_SYSCALL)
         tracer = self.litterbox.tracer
         metrics = self.litterbox.metrics
-        env = self._current_env or self.litterbox.trusted_env
+        env = cpu.current_env or self.litterbox.trusted_env
         if not env.allows_syscall(nr):
             if tracer is not None:
                 tracer.instant("filter", "filter:deny",

@@ -50,6 +50,14 @@ class Costs:
     PKEY_SET_PAGE: float = 152.0   # pkey_mprotect work per page
     EPT_UPDATE: float = 14.0
 
+    # Cross-core TLB maintenance (SMP machines only; a single-core
+    # machine never charges these).  A page-table or PKRU revocation
+    # that other cores may have cached must interrupt each remote core
+    # and wait for its acknowledgement — Linux's
+    # ``flush_tlb_mm_range``/``smp_call_function_many`` path.
+    IPI: float = 980.0             # send one IPI + wait for the ack
+    TLB_SHOOTDOWN: float = 640.0   # remote handler: flush + resync
+
     # Kernel services.
     SECCOMP_FIXED: float = 118.0   # seccomp entry/exit machinery per syscall
     SECCOMP_BPF_INSN: float = 1.5  # per BPF instruction evaluated

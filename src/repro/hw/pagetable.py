@@ -49,6 +49,18 @@ class PageTable:
         #: the table they came from; any map/unmap/protect edit makes
         #: those entries stale without an explicit shootdown.
         self.gen = 0
+        #: Optional SMP shootdown hook ``fn(table)``; the machine wires
+        #: it on multi-core configurations so mutations charge the
+        #: cross-core IPI/TLB-shootdown cost that the generation counter
+        #: alone gets "for free".  Fired at most once per *public*
+        #: mutation (a ``map_range`` of N pages is one invalidation
+        #: batch, exactly as ``flush_tlb_mm_range`` is one IPI burst),
+        #: and only when an *existing* translation changed — mapping
+        #: fresh pages leaves nothing stale in any TLB, so, as on Linux,
+        #: ``mmap`` costs no IPIs while ``munmap``/``mprotect`` do.
+        self.shootdown = None
+        self._in_batch = False
+        self._batch_stale = False
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,9 +72,30 @@ class PageTable:
         """Translate a virtual page number; ``None`` if unmapped."""
         return self._entries.get(vpn)
 
+    def _shot(self, stale: bool = True) -> None:
+        """Fire the SMP shootdown hook for one mutation.
+
+        Inside a batch the staleness is only accumulated; the batch end
+        fires at most one shootdown.  ``stale=False`` records a
+        mutation that invalidated nothing (a fresh mapping)."""
+        if self.shootdown is None:
+            return
+        if self._in_batch:
+            self._batch_stale = self._batch_stale or stale
+        elif stale:
+            self.shootdown(self)
+
+    def _end_batch(self) -> None:
+        self._in_batch = False
+        if self._batch_stale:
+            self._batch_stale = False
+            self._shot()
+
     def map_page(self, vpn: int, pte: PTE) -> None:
+        stale = vpn in self._entries
         self._entries[vpn] = pte
         self.gen += 1
+        self._shot(stale)
 
     def map_range(self, base: int, size: int, pfns: list[int], perms: Perm,
                   pkey: int = 0, user: bool = True, present: bool = True) -> None:
@@ -71,16 +104,25 @@ class PageTable:
         if len(vpns) != len(pfns):
             raise ConfigError(
                 f"map_range: {len(vpns)} pages but {len(pfns)} frames")
-        for vpn, pfn in zip(vpns, pfns):
-            self.map_page(vpn, PTE(pfn, perms, pkey, present, user))
+        self._in_batch = True
+        try:
+            for vpn, pfn in zip(vpns, pfns):
+                self.map_page(vpn, PTE(pfn, perms, pkey, present, user))
+        finally:
+            self._end_batch()
 
     def unmap_page(self, vpn: int) -> None:
-        self._entries.pop(vpn, None)
+        stale = self._entries.pop(vpn, None) is not None
         self.gen += 1
+        self._shot(stale)
 
     def unmap_range(self, base: int, size: int) -> None:
-        for vpn in pages_spanned(base, size):
-            self.unmap_page(vpn)
+        self._in_batch = True
+        try:
+            for vpn in pages_spanned(base, size):
+                self.unmap_page(vpn)
+        finally:
+            self._end_batch()
 
     def _update_range(self, base: int, size: int, **changes) -> int:
         """Apply field changes to every mapped PTE in a range.
@@ -97,6 +139,7 @@ class PageTable:
             updated += 1
         if updated:
             self.gen += 1
+            self._shot()
         return updated
 
     def protect_range(self, base: int, size: int, perms: Perm) -> int:
@@ -118,6 +161,7 @@ class PageTable:
                 updated += 1
         if updated:
             self.gen += 1
+            self._shot()
         return updated
 
     def present_vpns(self) -> frozenset[int]:
@@ -139,6 +183,7 @@ class PageTable:
                 updated += 1
         if updated:
             self.gen += 1
+            self._shot()
         return updated
 
     def clone(self, name: str = "") -> "PageTable":

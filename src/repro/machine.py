@@ -47,6 +47,13 @@ from repro.trace import Tracer
 @dataclass
 class MachineConfig:
     backend: str = "baseline"          # baseline | mpk | vtx | lwc
+    #: Simulated CPU cores.  ``1`` is the historical single-core
+    #: machine, bit-identical with every prior release; ``N > 1``
+    #: builds N CPUs (each with a private TLB and PKRU) under one
+    #: SimClock with a deterministic per-core virtual-time interleave,
+    #: and turns on honest cross-core costs: every page-table or PKRU
+    #: revocation charges TLB-shootdown IPIs against the remote cores.
+    cores: int = 1
     virtualize_keys: bool = False      # libmpk-style ablation (LBMPK)
     arg_rules: list[ArgRule] | None = None  # §6.5 sysfilter extension
     trace: bool = False                # enforcement-event tracer
@@ -107,6 +114,8 @@ class Machine:
             raise ConfigError(
                 f"unknown fault_policy {config.fault_policy!r} "
                 f"(choose from {', '.join(FAULT_POLICIES)})")
+        if config.cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {config.cores}")
         self.config = config
         self.image = image
         self.clock = SimClock()
@@ -155,7 +164,9 @@ class Machine:
         self._load_image()
         if self.profiler is not None:
             self.profiler.load_image(image)
-            self.profiler.pc_provider = lambda: self.cpu.pc
+            # The executing core's pc (core 0's on a one-core machine).
+            self.profiler.pc_provider = (
+                lambda: self.scheduler.current_core.cpu.pc)
 
         backend = self._make_backend(config)
         self.backend = backend
@@ -183,10 +194,25 @@ class Machine:
             self.cpu.ctx.ept = vtx.vm.vmcs.ept
             self.mmu.flush_tlb(self.cpu.ctx)
 
+        # Further cores (SMP): each gets its own translation context —
+        # a private software TLB and PKRU cell — starting from core 0's
+        # boot state.  Core 0's CPU object and context are exactly the
+        # historical single-core ones.
+        self.cpus = [self.cpu]
+        for _ in range(1, config.cores):
+            cpu = CPU(mmu=self.mmu, clock=self.clock)
+            cpu.guest_mode = self.cpu.guest_mode
+            cpu.ctx = TranslationContext(
+                page_table=self.cpu.ctx.page_table,
+                pkru=self.cpu.ctx.pkru,
+                ept=self.cpu.ctx.ept)
+            self.cpus.append(cpu)
+
         # Runtime services.
         self.pkg_names = sorted(image.graph.names())
         self.allocator = Allocator(self.litterbox)
-        self.scheduler = Scheduler(self.cpu, self.interp, self.litterbox)
+        self.scheduler = Scheduler(self.cpu, self.interp, self.litterbox,
+                                   cpus=self.cpus)
         self.scheduler.tracer = self.tracer
         self.scheduler.profiler = self.profiler
         self.channels = ChannelTable(self.scheduler.wake)
@@ -255,10 +281,102 @@ class Machine:
             self.kernel.inject = injector
             self.litterbox.injector = injector
 
-        self.cpu.syscall_handler = lambda cpu, nr, args: \
-            self.backend.syscall(cpu, nr, args)
-        self.cpu.rtcall_handler = self.runtime.dispatch
-        self.cpu.lbcall_handler = self._lbcall
+        for cpu in self.cpus:
+            cpu.syscall_handler = lambda cpu, nr, args: \
+                self.backend.syscall(cpu, nr, args)
+            cpu.rtcall_handler = self.runtime.dispatch
+            cpu.lbcall_handler = self._lbcall
+
+        if config.cores > 1:
+            self._wire_smp()
+
+    # ------------------------------------------------------------------ SMP
+
+    def _wire_smp(self) -> None:
+        """Enable the honest cross-core cost model (``cores > 1`` only).
+
+        Wired *after* boot so image loading and environment construction
+        stay free of IPIs, exactly as on one core: a core that has never
+        executed holds no stale TLB entries worth shooting down.  From
+        here on, any mutation of a page table that a remote core has
+        installed (as its root or its EPT) interrupts that core —
+        ``mm_cpumask`` targeting, so transfers to an enclosure only IPI
+        cores actually running with that table.  The machine's *current*
+        core is the initiator and is never IPI'd; mutations arriving
+        from outside any slice (tenant eviction between drives) attribute
+        to the last core scheduled, a documented modeling simplification.
+        """
+        self._shootdown_ns = 0.0
+        tables: dict[int, PageTable] = {id(self.host_table): self.host_table}
+        for env in self.litterbox.envs.values():
+            if env.table is not None:
+                tables[id(env.table)] = env.table
+        for cpu in self.cpus:
+            if cpu.ctx.page_table is not None:
+                tables[id(cpu.ctx.page_table)] = cpu.ctx.page_table
+            if cpu.ctx.ept is not None:
+                tables[id(cpu.ctx.ept)] = cpu.ctx.ept
+        for table in tables.values():
+            table.shootdown = self._table_shootdown
+        # MPK quarantine revokes by rewriting a PKRU value — register
+        # state, not page-table state — so it needs an explicit flush
+        # of every remote core.
+        self.backend.remote_flush = self._remote_flush
+        if self.metrics_registry is not None:
+            registry = self.metrics_registry
+            registry.gauge(
+                "tlb_shootdowns_total",
+                "Cross-core TLB shootdown rounds issued (SMP only)."
+            ).set_function(lambda: float(self.clock.count("tlb_shootdowns")))
+            registry.gauge(
+                "tlb_shootdown_ipis_total",
+                "Remote cores interrupted across all shootdown rounds."
+            ).set_function(lambda: float(self.clock.count("ipis")))
+            registry.gauge(
+                "tlb_shootdown_ns_total",
+                "Simulated ns the initiating cores spent on shootdowns."
+            ).set_function(lambda: self._shootdown_ns)
+            core_time = registry.gauge(
+                "core_time_ns", "Per-core virtual time frontier.",
+                labelnames=("core",))
+
+            def _collect_core_time() -> None:
+                for core in self.scheduler.cores:
+                    core_time.set(core.vtime, core=str(core.id))
+
+            registry.add_collector(_collect_core_time)
+
+    def _table_shootdown(self, table: PageTable) -> None:
+        """A mutated translation: IPI every remote core using ``table``."""
+        remotes = [core for core in self.scheduler.cores
+                   if core is not self.scheduler.current_core
+                   and (core.ctx.page_table is table or core.ctx.ept is table)]
+        if remotes:
+            self._charge_shootdown(remotes, f"shootdown:{table.name}")
+
+    def _remote_flush(self) -> None:
+        """A revoked PKRU value: every remote core must resync."""
+        remotes = [core for core in self.scheduler.cores
+                   if core is not self.scheduler.current_core]
+        if remotes:
+            self._charge_shootdown(remotes, "shootdown:pkru")
+
+    def _charge_shootdown(self, remotes: list, name: str) -> None:
+        """Charge one IPI burst: the initiator pays the send plus the
+        wait for the last acknowledgement; each remote core's virtual
+        time absorbs its handler at the delivery instant."""
+        clock = self.clock
+        t0 = clock.now_ns
+        cost = len(remotes) * (COSTS.IPI + COSTS.TLB_SHOOTDOWN)
+        clock.tick("tlb_shootdowns", cost)
+        clock.counters["ipis"] = (clock.counters.get("ipis", 0)
+                                  + len(remotes))
+        for core in remotes:
+            core.vtime = max(core.vtime, t0) + COSTS.TLB_SHOOTDOWN
+        self._shootdown_ns += cost
+        if self.tracer is not None:
+            self.tracer.complete("shootdown", name, t0, cost,
+                                 ipis=len(remotes))
 
     # ------------------------------------------------------------------ setup
 
@@ -385,7 +503,8 @@ class Machine:
         report = {
             "fault_policy": self.config.fault_policy,
             "contained": [
-                {"kind": f.kind, "detail": f.detail, "origin": f.origin()}
+                {"kind": f.kind, "detail": f.detail, "origin": f.origin(),
+                 "core": getattr(f, "core", 0)}
                 for f in self.scheduler.contained
             ],
             "quarantined": {

@@ -5,6 +5,24 @@ associated with different environments" and "execution environments are
 transitively inherited by goroutine creation so that user-level threads
 created inside an enclosure's environment continue to execute in the
 same environment" (preventing escalation through `go`).
+
+SMP (``MachineConfig(cores=N)``): the scheduler owns one
+:class:`SchedCore` per simulated CPU, each with its own run queue and
+*virtual time* — the simulated instant up to which that core has
+executed.  The drive loop always runs the core with the smallest
+virtual time (lowest id on ties), sliding the shared :class:`SimClock`
+to ``max(core.vtime, goroutine.ready_at)`` before the slice and
+recording the core's new frontier after it.  The interleaving is
+therefore a pure function of the workload and seed — no host
+concurrency is involved — and a one-core machine takes a separate
+branch whose arithmetic is untouched, keeping its simulated values
+bit-identical to the historical single-core scheduler.
+
+An idle core steals the far half of the busiest core's queue (fairness:
+no goroutine can starve behind a long queue while another core idles),
+and a wakeup re-enqueues the goroutine on the core it last ran on,
+migrating across cores only through stealing — the cheap case on real
+hardware, since a migrated goroutine repopulates the new core's TLB.
 """
 
 from __future__ import annotations
@@ -41,6 +59,11 @@ class Goroutine:
     fault: Fault | None = None
     #: Supervised-restart generation (see ``Scheduler.restart_limit``).
     restarts: int = 0
+    #: The core this goroutine last ran on (its wake affinity).
+    core: int = 0
+    #: Simulated instant the goroutine became runnable; an SMP core
+    #: never starts a slice before the goroutine was actually ready.
+    ready_at: float = 0.0
 
 
 @dataclass
@@ -54,17 +77,44 @@ class RunResult:
     goroutines: dict | None = None
 
 
+@dataclass
+class SchedCore:
+    """One simulated CPU as the scheduler sees it."""
+
+    id: int
+    cpu: CPU
+    #: This core's canonical translation context (its private TLB and
+    #: PKRU cell).  A migrated goroutine's saved activation still points
+    #: at the context of the core it last ran on; the drive loop
+    #: re-installs the executing core's own context after every restore.
+    ctx: object = None
+    runq: deque = field(default_factory=deque)
+    #: Virtual time: the simulated instant this core has executed up to.
+    vtime: float = 0.0
+
+
 class Scheduler:
-    """Cooperative round-robin scheduler over one simulated CPU."""
+    """Cooperative round-robin scheduler over N simulated CPUs."""
 
     TIME_SLICE = 200_000  # instructions before a voluntary rotate
 
-    def __init__(self, cpu: CPU, interp: Interpreter, litterbox) -> None:
+    def __init__(self, cpu: CPU, interp: Interpreter, litterbox,
+                 cpus: list[CPU] | None = None) -> None:
         self.cpu = cpu
         self.interp = interp
         self.litterbox = litterbox
+        self.cpus = list(cpus) if cpus else [cpu]
+        self.cores = [SchedCore(i, c, ctx=c.ctx)
+                      for i, c in enumerate(self.cpus)]
+        #: True on a multi-core machine; every SMP-only branch guards on
+        #: this so the one-core drive loop stays bit-identical.
+        self.smp = len(self.cores) > 1
+        self.current_core: SchedCore = self.cores[0]
+        #: Work-stealing events so far (queues migrated, not goroutines).
+        self.steals = 0
         self.goroutines: list[Goroutine] = []
-        self.runnable: deque[Goroutine] = deque()
+        #: Core 0's run queue doubles as the classic single queue.
+        self.runnable = self.cores[0].runq
         self.blocked: dict[tuple, list[Goroutine]] = {}
         self.current: Goroutine | None = None
         self.main: Goroutine | None = None
@@ -109,10 +159,16 @@ class Scheduler:
         if self.main is None:
             self.main = goroutine
         goroutine.state = "runnable"
-        self.runnable.append(goroutine)
+        # A goroutine starts on its spawner's core (cheap: the spawner's
+        # cache is warm with its arguments); core 0 when spawned from
+        # outside the machine.  On one core this is the classic queue.
+        if self.current is not None:
+            goroutine.core = self.current.core
+        goroutine.ready_at = self.cpu.clock.now_ns
+        self.cores[goroutine.core].runq.append(goroutine)
         return goroutine
 
-    def _first_activation(self, goroutine: Goroutine) -> dict:
+    def _first_activation(self, goroutine: Goroutine, cpu: CPU) -> dict:
         stack = self.litterbox.allocate_initial_stack(goroutine)
         return {
             "pc": goroutine.entry,
@@ -120,25 +176,31 @@ class Scheduler:
             "sp": stack.base + 16,
             "stack": stack,
             "operands": list(goroutine.args),
-            "ctx": self.cpu.ctx,
+            "ctx": cpu.ctx,
         }
 
     # -- wake/park -------------------------------------------------------------
 
     def wake(self, key: tuple) -> None:
-        """Move every goroutine blocked on ``key`` back to runnable."""
+        """Move every goroutine blocked on ``key`` back to runnable.
+
+        Each waiter re-enqueues on the core it last ran on; if that
+        core is swamped while another idles, work stealing migrates it.
+        """
         waiters = self.blocked.pop(key, None)
         if not waiters:
             return
+        now = self.cpu.clock.now_ns
         for goroutine in waiters:
             goroutine.state = "runnable"
             goroutine.wait_key = None
-            self.runnable.append(goroutine)
+            goroutine.ready_at = now
+            self.cores[goroutine.core].runq.append(goroutine)
 
-    def _park(self, goroutine: Goroutine, key: tuple) -> None:
+    def _park(self, goroutine: Goroutine, key: tuple, cpu: CPU) -> None:
         goroutine.state = "blocked"
         goroutine.wait_key = key
-        goroutine.activation = self.cpu.save_activation()
+        goroutine.activation = cpu.save_activation()
         self.blocked.setdefault(key, []).append(goroutine)
 
     # -- the drive loop ----------------------------------------------------------
@@ -146,90 +208,182 @@ class Scheduler:
     def run(self, max_total_steps: int = 200_000_000,
             stop_when_main_exits: bool = True) -> RunResult:
         """Drive goroutines until HALT, main exit, a fault, or idleness."""
-        total = 0
-        while self.runnable:
-            goroutine = self.runnable.popleft()
+        self._total = 0
+        if self.smp:
+            return self._run_smp(max_total_steps, stop_when_main_exits)
+        return self._run_uni(max_total_steps, stop_when_main_exits)
+
+    def _run_uni(self, max_total_steps: int,
+                 stop_when_main_exits: bool) -> RunResult:
+        """The historical single-core loop, arithmetic untouched."""
+        core = self.cores[0]
+        while core.runq:
+            goroutine = core.runq.popleft()
             if goroutine.state != "runnable":
                 continue
-            self.current = goroutine
-            try:
-                if goroutine.activation is None:
-                    goroutine.activation = self._first_activation(goroutine)
-                self.cpu.restore_activation(goroutine.activation)
-                tracer = self.tracer
-                if tracer is None:
-                    self.cpu.clock.charge(COSTS.SCHED_SWITCH)
-                    # Execute hook: resume in the goroutine's own
-                    # environment.
-                    self.litterbox.execute(self.cpu, goroutine)
-                else:
-                    span = tracer.begin("switch",
-                                        f"execute:{goroutine.env.name}",
-                                        env=goroutine.env.name,
-                                        goroutine=goroutine.id)
-                    self.cpu.clock.charge(COSTS.SCHED_SWITCH)
-                    self.litterbox.execute(self.cpu, goroutine)
-                    tracer.set_env(goroutine.env.name, at=span.t0)
-                    tracer.end(span)
-                if self.profiler is not None:
-                    self.profiler.set_env(goroutine.env.name)
-                goroutine.state = "running"
+            result = self._run_one(core, goroutine, stop_when_main_exits)
+            if result is not None:
+                return result
+            if self._total > max_total_steps:
+                raise self._step_budget_fault(max_total_steps)
+        return RunResult("idle")
 
-                # run_slice counts architectural instructions (2 per
-                # fused dispatch), so the slice budget — and thus
-                # rotation timing and SCHED_SWITCH charges — is
-                # identical with fusion on or off.  slice_executed is
-                # valid even when the slice ends in an exception, so
-                # `total` stays exact across parks/faults/exits.
-                interp = self.interp
+    def _run_smp(self, max_total_steps: int,
+                 stop_when_main_exits: bool) -> RunResult:
+        """Deterministic N-core interleaving under one clock.
+
+        The next core to run is always the one with the least virtual
+        time; the shared clock slides to that core's frontier (or the
+        goroutine's ready instant, whichever is later) for the slice
+        and the frontier is recorded back afterwards.  On any exit the
+        clock lands on the global frontier, so callers driving the
+        machine in pieces (servers, load generators) observe a
+        monotonic clock between drives.
+        """
+        clock = self.cpu.clock
+        try:
+            while True:
+                core = self._pick_core()
+                if core is None:
+                    return RunResult("idle")
+                goroutine = core.runq.popleft()
+                if goroutine.state != "runnable":
+                    continue
+                clock.now_ns = max(core.vtime, goroutine.ready_at)
                 try:
-                    interp.run_slice(self.cpu, self.TIME_SLICE)
+                    result = self._run_one(core, goroutine,
+                                           stop_when_main_exits)
                 finally:
-                    total += interp.slice_executed
-                if self.quota is not None:
-                    # Slice-granular CPU metering: a goroutine that ran
-                    # its slice to exhaustion inside an enclosure is
-                    # charged against that enclosure's step budget; an
-                    # overrun raises QuotaFault into the containment
-                    # path below, exactly like a memory fault.
-                    self.quota.charge_steps(goroutine.env,
-                                            interp.slice_executed)
-                # Preemption point: rotate.
-                goroutine.state = "runnable"
-                goroutine.activation = self.cpu.save_activation()
-                self.runnable.append(goroutine)
-            except WouldBlock as block:
-                self._park(goroutine, block.wait_key)
-            except GoroutineExit:
-                goroutine.state = "done"
-                goroutine.exit = "ran"
-                goroutine.activation = None
-                self.litterbox.release_stacks(goroutine)
-                if stop_when_main_exits and goroutine is self.main:
-                    return RunResult("exited", 0)
-            except MachineHalt as halt:
-                goroutine.state = "done"
-                goroutine.exit = "ran"
-                return RunResult("halted", halt.exit_code)
-            except Fault as fault:
-                result = self._on_fault(goroutine, fault,
-                                        stop_when_main_exits)
+                    core.vtime = clock.now_ns
                 if result is not None:
                     return result
-            if total > max_total_steps:
-                starved = sorted(g.id for g in self.goroutines
-                                 if g.state in ("runnable", "running"))
-                raise Fault(
-                    "exec",
-                    "scheduler exceeded step budget of "
-                    f"{max_total_steps} with runnable goroutines "
-                    f"{starved} still starved")
-        return RunResult("idle")
+                if self._total > max_total_steps:
+                    raise self._step_budget_fault(max_total_steps)
+        finally:
+            clock.now_ns = max(clock.now_ns,
+                               max(c.vtime for c in self.cores))
+
+    def _pick_core(self) -> SchedCore | None:
+        """The core that runs next: strictly the least virtual time,
+        lowest id on ties.  An idle winner first steals the far half of
+        the busiest queue; ``None`` means every queue is empty."""
+        best = None
+        for core in self.cores:
+            if best is None or core.vtime < best.vtime:
+                best = core
+        if not best.runq:
+            busiest = None
+            for core in self.cores:
+                if core.runq and (busiest is None
+                                  or len(core.runq) > len(busiest.runq)):
+                    busiest = core
+            if busiest is None:
+                return None
+            take = (len(busiest.runq) + 1) // 2
+            for _ in range(take):
+                stolen = busiest.runq.popleft()
+                stolen.core = best.id
+                best.runq.append(stolen)
+            self.steals += 1
+        return best
+
+    def _step_budget_fault(self, max_total_steps: int) -> Fault:
+        starved = sorted(g.id for g in self.goroutines
+                         if g.state in ("runnable", "running"))
+        return Fault(
+            "exec",
+            "scheduler exceeded step budget of "
+            f"{max_total_steps} with runnable goroutines "
+            f"{starved} still starved")
+
+    def _run_one(self, core: SchedCore, goroutine: Goroutine,
+                 stop_when_main_exits: bool) -> RunResult | None:
+        """One scheduling slice of ``goroutine`` on ``core``; a
+        RunResult ends the drive, ``None`` continues it."""
+        cpu = core.cpu
+        self.current = goroutine
+        self.current_core = core
+        goroutine.core = core.id
+        try:
+            if goroutine.activation is None:
+                goroutine.activation = self._first_activation(goroutine, cpu)
+            cpu.restore_activation(goroutine.activation)
+            if self.smp:
+                # A migrated goroutine's activation still references
+                # the previous core's translation context; install this
+                # core's own (its private TLB/PKRU).  The Execute hook
+                # below re-applies the environment's restrictions to it.
+                cpu.ctx = core.ctx
+            tracer = self.tracer
+            if tracer is None:
+                cpu.clock.charge(COSTS.SCHED_SWITCH)
+                # Execute hook: resume in the goroutine's own
+                # environment.
+                self.litterbox.execute(cpu, goroutine)
+            else:
+                if self.smp:
+                    tracer.core = core.id
+                span = tracer.begin("switch",
+                                    f"execute:{goroutine.env.name}",
+                                    env=goroutine.env.name,
+                                    goroutine=goroutine.id)
+                cpu.clock.charge(COSTS.SCHED_SWITCH)
+                self.litterbox.execute(cpu, goroutine)
+                tracer.set_env(goroutine.env.name, at=span.t0)
+                tracer.end(span)
+            if self.profiler is not None:
+                self.profiler.set_env(goroutine.env.name)
+            goroutine.state = "running"
+
+            # run_slice counts architectural instructions (2 per
+            # fused dispatch), so the slice budget — and thus
+            # rotation timing and SCHED_SWITCH charges — is
+            # identical with fusion on or off.  slice_executed is
+            # valid even when the slice ends in an exception, so
+            # the step total stays exact across parks/faults/exits.
+            interp = self.interp
+            try:
+                interp.run_slice(cpu, self.TIME_SLICE)
+            finally:
+                self._total += interp.slice_executed
+            if self.quota is not None:
+                # Slice-granular CPU metering: a goroutine that ran
+                # its slice to exhaustion inside an enclosure is
+                # charged against that enclosure's step budget; an
+                # overrun raises QuotaFault into the containment
+                # path below, exactly like a memory fault.  One table
+                # serves all cores, so a tenant's budget is the sum of
+                # its consumption machine-wide.
+                self.quota.charge_steps(goroutine.env,
+                                        interp.slice_executed)
+            # Preemption point: rotate.
+            goroutine.state = "runnable"
+            goroutine.activation = cpu.save_activation()
+            goroutine.ready_at = cpu.clock.now_ns
+            core.runq.append(goroutine)
+        except WouldBlock as block:
+            self._park(goroutine, block.wait_key, cpu)
+        except GoroutineExit:
+            goroutine.state = "done"
+            goroutine.exit = "ran"
+            goroutine.activation = None
+            self.litterbox.release_stacks(goroutine)
+            if stop_when_main_exits and goroutine is self.main:
+                return RunResult("exited", 0)
+        except MachineHalt as halt:
+            goroutine.state = "done"
+            goroutine.exit = "ran"
+            return RunResult("halted", halt.exit_code)
+        except Fault as fault:
+            return self._on_fault(goroutine, fault, stop_when_main_exits,
+                                  cpu)
+        return None
 
     # -- fault containment -----------------------------------------------------
 
-    def _on_fault(self, goroutine: Goroutine,
-                  fault: Fault, stop_when_main_exits: bool) -> RunResult | None:
+    def _on_fault(self, goroutine: Goroutine, fault: Fault,
+                  stop_when_main_exits: bool,
+                  cpu: CPU | None = None) -> RunResult | None:
         """Apply the machine's fault policy to a fault raised while
         ``goroutine`` was running.
 
@@ -241,7 +395,10 @@ class Scheduler:
         fielding the fault, the kernel reclaims the goroutine's fds, and
         only the offending goroutine dies.
         """
+        if cpu is None:
+            cpu = self.cpu
         fault.attribute(goroutine.env)
+        fault.core = goroutine.core
         goroutine.fault = fault
         if self.fault_policy == "abort":
             goroutine.state = "done"
@@ -258,10 +415,10 @@ class Scheduler:
                                 fault=fault.kind)
         # 1. Unwind nested Prolog frames back to the goroutine's base
         #    environment (Epilog-on-fault).
-        depth = lb.unwind_on_fault(self.cpu, goroutine)
+        depth = lb.unwind_on_fault(cpu, goroutine)
         # 2. The backend pays for fielding the fault (signal delivery /
         #    VM exit / kernel trap) without tearing the machine down.
-        lb.backend.contained_fault(self.cpu)
+        lb.backend.contained_fault(cpu)
         # 3. Count it against the faulting enclosure; a QuarantinedFault
         #    is the quarantine *working*, not a fresh violation.
         if not isinstance(fault, QuarantinedFault):
@@ -305,7 +462,7 @@ class Scheduler:
                 state = "parked"
             else:
                 state = g.state  # new | runnable | running
-            entry = {"state": state, "env": g.env.name}
+            entry = {"state": state, "env": g.env.name, "core": g.core}
             if g.fault is not None:
                 entry["fault"] = f"{g.fault.kind}: {g.fault.detail}"
             if g.restarts:

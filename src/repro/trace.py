@@ -57,8 +57,10 @@ from repro.hw.clock import SimClock
 
 #: Categories an event may carry; also the category axis of the
 #: per-environment breakdown (``violation`` events are zero-duration).
+#: ``shootdown`` only appears on multi-core machines: cross-core
+#: TLB-shootdown IPI bursts charged by page-table/PKRU revocations.
 CATEGORIES = ("switch", "syscall", "transfer", "filter", "vm_exit",
-              "violation", "contain", "quota")
+              "violation", "contain", "quota", "shootdown")
 
 #: Chrome trace-event phases the exporter emits.
 _PHASES = ("X", "i", "M")
@@ -119,6 +121,10 @@ class Tracer:
         self._env_since = clock.now_ns
         self._gross: dict[str, float] = {}
         self._cat_ns: dict[tuple[str, str], float] = {}
+        #: The core currently executing, stamped onto every event's args
+        #: while set.  ``None`` on a single-core machine — events there
+        #: carry no ``core`` key, keeping historical traces bit-identical.
+        self.core: int | None = None
 
     # -- environment timeline ------------------------------------------------
 
@@ -144,6 +150,8 @@ class Tracer:
     def begin(self, cat: str, name: str, env: str | None = None,
               pkg: str = "", **args) -> _Span:
         """Open an enforcement span at the current simulated instant."""
+        if self.core is not None:
+            args.setdefault("core", self.core)
         span = _Span(cat, name, self.clock.now_ns,
                      self._env if env is None else env,
                      pkg, args, outermost=not self._open)
@@ -179,6 +187,8 @@ class Tracer:
     def instant(self, cat: str, name: str, env: str | None = None,
                 pkg: str = "", **args) -> TraceEvent:
         """Record a zero-duration event (filter verdicts, violations)."""
+        if self.core is not None:
+            args.setdefault("core", self.core)
         event = TraceEvent(name, cat, "i", self.clock.now_ns, 0.0,
                            self._env if env is None else env, pkg, args)
         self.events.append(event)
@@ -188,6 +198,8 @@ class Tracer:
                  env: str | None = None, pkg: str = "", **args) -> TraceEvent:
         """Record a span whose extent is already known (VM exits: the
         EXIT+RESUME round trip is charged as one block)."""
+        if self.core is not None:
+            args.setdefault("core", self.core)
         use_env = self._env if env is None else env
         if not self._open:
             key = (use_env, cat)
@@ -254,6 +266,10 @@ class Tracer:
                 "compute_ns": max(0.0, total - enforcement),
                 "counts": env_counts,
             }
+            if cats["shootdown"]:
+                # SMP only: zero on a single-core machine, where the
+                # key is omitted so historical summaries are unchanged.
+                out[env]["shootdown_ns"] = cats["shootdown"]
         return out
 
     def describe(self) -> list[str]:

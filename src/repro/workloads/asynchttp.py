@@ -199,8 +199,21 @@ func Serve(port int, maxconns int, backlog int,
 
 
 def app_source(maxconns: int = DEFAULT_MAXCONNS,
-               backlog: int = DEFAULT_BACKLOG) -> str:
+               backlog: int = DEFAULT_BACKLOG,
+               workers: int = 1) -> str:
+    """The server's main package.
+
+    ``workers == 1`` emits exactly the historical single-listener
+    source (bit-identity contract); ``workers > 1`` spawns one extra
+    ``Serve`` goroutine per additional worker, each with its own
+    listener on ``PORT + i`` — the SMP scheduler spreads them across
+    cores, one readiness loop per core, sharing one handler enclosure.
+    """
     page = _static_page()
+    spawns = "".join(
+        f"    go asynchttp.Serve({PORT + i}, {maxconns}, {backlog}, "
+        f"handler)\n"
+        for i in range(1, workers))
     return f"""
 package main
 
@@ -214,18 +227,19 @@ func main() {{
     handler := with "none" func(path string) string {{
         return "{page}"
     }}
-    asynchttp.Serve({PORT}, {maxconns}, {backlog}, handler)
+{spawns}    asynchttp.Serve({PORT}, {maxconns}, {backlog}, handler)
 }}
 """
 
 
 @lru_cache(maxsize=None)
 def build_async_image(maxconns: int = DEFAULT_MAXCONNS,
-                      backlog: int = DEFAULT_BACKLOG):
+                      backlog: int = DEFAULT_BACKLOG,
+                      workers: int = 1):
     # Memoized like build_http_image: the linked image is immutable
     # (machines copy sections into their own frames).
     objects = compile_program(
-        [ASYNC_SOURCE, app_source(maxconns, backlog)])
+        [ASYNC_SOURCE, app_source(maxconns, backlog, workers)])
     from repro.workloads import corpus
     corpus.stamp_loc(objects, {"main": 24})
     return link(objects, entry="main.$start")
@@ -234,11 +248,12 @@ def build_async_image(maxconns: int = DEFAULT_MAXCONNS,
 def run_async_server(backend: str,
                      config: MachineConfig | None = None,
                      maxconns: int = DEFAULT_MAXCONNS,
-                     backlog: int = DEFAULT_BACKLOG) -> Machine:
+                     backlog: int = DEFAULT_BACKLOG,
+                     workers: int = 1) -> Machine:
     """Boot the async server until it parks in poll; returns the machine."""
     if config is None:
         config = MachineConfig(backend=backend)
-    machine = Machine(build_async_image(maxconns, backlog), config)
+    machine = Machine(build_async_image(maxconns, backlog, workers), config)
     machine.kernel.reclaim_notice = ERROR_RESPONSE
     result = machine.run()
     if result.status == "faulted":

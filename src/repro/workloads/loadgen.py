@@ -91,13 +91,14 @@ ARRIVAL_PROCESSES = {
 class _Slot:
     """One keep-alive connection plus its client-side FIFO of arrivals."""
 
-    __slots__ = ("conn", "queue", "inflight_arrival", "rxbuf")
+    __slots__ = ("conn", "queue", "inflight_arrival", "rxbuf", "port")
 
-    def __init__(self) -> None:
+    def __init__(self, port: int = asynchttp.PORT) -> None:
         self.conn = None
         self.queue: list[float] = []       # scheduled arrival times, FIFO
         self.inflight_arrival: float | None = None
         self.rxbuf = bytearray()
+        self.port = port
 
 
 class _Recorder:
@@ -143,6 +144,8 @@ class LoadResult:
     #: Enclosure faults contained by the server while absorbing this
     #: level (nonzero only under a containing fault policy).
     contained: int = 0
+    #: Simulated cores the serving machine ran with.
+    cores: int = 1
     duration_ns: float = 0.0
     goodput_rps: float = 0.0
     p50_ns: float = 0.0
@@ -162,6 +165,7 @@ class LoadResult:
             "refused": self.refused,
             "reset": self.reset,
             "contained": self.contained,
+            "cores": self.cores,
             "duration_ms": round(self.duration_ns / 1e6, 3),
             "goodput_rps": round(self.goodput_rps, 1),
             "p50_us": round(self.p50_ns / 1e3, 1),
@@ -174,13 +178,19 @@ class OpenLoopLoadGen:
     """Drives one machine through one pre-generated arrival schedule."""
 
     def __init__(self, machine, arrivals: list[float], pool: int,
-                 port: int = asynchttp.PORT):
+                 port: int = asynchttp.PORT,
+                 ports: list[int] | None = None):
         self.machine = machine
         self.net = machine.kernel.net
         self.clock = machine.clock
         self.arrivals = arrivals
-        self.port = port
-        self.slots = [_Slot() for _ in range(max(1, pool))]
+        #: One listener port per server worker; slots are assigned
+        #: round-robin so a multi-worker (SMP) server sees its offered
+        #: load spread across every readiness loop.
+        self.ports = list(ports) if ports else [port]
+        self.port = self.ports[0]
+        self.slots = [_Slot(self.ports[i % len(self.ports)])
+                      for i in range(max(1, pool))]
         self.ok = 0
         self.shed = 0
         self.refused = 0
@@ -249,7 +259,7 @@ class OpenLoopLoadGen:
         """Start the next queued request, reconnecting as needed."""
         while slot.inflight_arrival is None and slot.queue:
             if slot.conn is None:
-                conn = self.net.connect(LOCALHOST, self.port)
+                conn = self.net.connect(LOCALHOST, slot.port)
                 if isinstance(conn, int):
                     # Kernel accept queue full: instant refusal.
                     slot.queue.pop(0)
@@ -277,9 +287,19 @@ class OpenLoopLoadGen:
         total = len(arrivals)
         start_ns = self.clock.now_ns
         offset = start_ns  # schedule is relative to the run start
+        smp = getattr(self.machine.scheduler, "smp", False)
         for next_idx, arrival in enumerate(arrivals):
             due_at = offset + arrival
-            if self.clock.now_ns < due_at:
+            if smp:
+                # SMP: the client lives outside the cores.  Each core
+                # keeps its own virtual time, so the dispatch instant is
+                # the scheduled arrival itself — a core that is still
+                # busy past ``due_at`` picks the wakeup up at its own
+                # vtime, while an idle core serves it at ``due_at``.
+                # That is what lets capacity scale: the global clock is
+                # no longer a serial bottleneck.
+                self.clock.now_ns = due_at
+            elif self.clock.now_ns < due_at:
                 # Open-loop think time: jump the clock to the scheduled
                 # arrival.  (When the server has already burned past it,
                 # the request is dispatched late but its latency is
@@ -328,20 +348,29 @@ def run_level(backend: str, offered_rps: float, requests: int, seed: int,
               maxconns: int = asynchttp.DEFAULT_MAXCONNS,
               backlog: int = asynchttp.DEFAULT_BACKLOG,
               fault_policy: str = "abort",
-              config: MachineConfig | None = None) -> LoadResult:
-    """One offered-load level on a fresh machine."""
+              config: MachineConfig | None = None,
+              cores: int = 1) -> LoadResult:
+    """One offered-load level on a fresh machine.
+
+    ``cores > 1`` boots an SMP machine with one server worker (its own
+    listener on ``PORT + i``) per core and spreads the connection pool
+    across the workers' ports."""
     arrivals = ARRIVAL_PROCESSES[process](offered_rps, requests, seed)
+    workers = max(1, cores)
     if config is None:
         config = MachineConfig(backend=backend, metrics=True,
-                               fault_policy=fault_policy)
+                               fault_policy=fault_policy, cores=cores)
     machine = asynchttp.run_async_server(
-        backend, config=config, maxconns=maxconns, backlog=backlog)
-    gen = OpenLoopLoadGen(machine, arrivals, pool)
+        backend, config=config, maxconns=maxconns, backlog=backlog,
+        workers=workers)
+    ports = [asynchttp.PORT + i for i in range(workers)]
+    gen = OpenLoopLoadGen(machine, arrivals, max(pool, workers), ports=ports)
     result = gen.run()
     result.process = process
     result.offered_rps = offered_rps
     result.policy = fault_policy
     result.contained = len(machine.containment_report()["contained"])
+    result.cores = machine.config.cores
     return result
 
 

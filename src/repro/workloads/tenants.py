@@ -554,7 +554,7 @@ class TenantLoadGen(OpenLoopLoadGen):
         tenant_q = self._tenant_q[index]
         while slot.inflight_arrival is None and slot.queue:
             if slot.conn is None:
-                conn = self.net.connect(LOCALHOST, self.port)
+                conn = self.net.connect(LOCALHOST, slot.port)
                 if isinstance(conn, int):
                     slot.queue.pop(0)
                     name = tenant_q.pop(0)
@@ -607,13 +607,17 @@ def _healthy_latency_summary(gen: TenantLoadGen,
 def _run_leg(backend: str, profiles: dict[str, str], arrivals: list[float],
              pool: int, inject: str | None, quotas: str | None,
              revive_limit: int, maxconns: int, backlog: int,
-             virtualize_keys: bool) -> tuple[Machine, TenantLoadGen,
-                                             TenantManager]:
+             virtualize_keys: bool,
+             cores: int = 1) -> tuple[Machine, TenantLoadGen,
+                                      TenantManager]:
+    # One listener is enough on SMP: tenantsrv hands each request to a
+    # fresh ``go handleOne`` goroutine, which work stealing spreads
+    # across the cores.
     image = build_tenant_image(profiles, PORT, maxconns, backlog)
     config = MachineConfig(
         backend=backend, metrics=True, fault_policy="quarantine",
         quarantine_threshold=1, quotas=quotas, inject=inject,
-        virtualize_keys=virtualize_keys)
+        virtualize_keys=virtualize_keys, cores=cores)
     machine = Machine(image, config)
     machine.kernel.reclaim_notice = ERROR_RESPONSE
     result = machine.run()
@@ -637,7 +641,8 @@ def run_tenants_study(backend: str, tenants: int = 100,
                       memhog_frac: float = 0.03,
                       maxconns: int = DEFAULT_MAXCONNS,
                       backlog: int = DEFAULT_BACKLOG,
-                      profiles: dict[str, str] | None = None) -> dict:
+                      profiles: dict[str, str] | None = None,
+                      cores: int = 1) -> dict:
     """Containment-under-load: a no-injection all-healthy baseline leg,
     then the mixed-roster leg with injected faults and quotas, at the
     same offered load.  Returns a deterministic report (the CI smoke
@@ -658,7 +663,7 @@ def run_tenants_study(backend: str, tenants: int = 100,
     _, base_gen, _ = _run_leg(
         backend, baseline_profiles, arrivals, pool, inject=None,
         quotas=quotas, revive_limit=revive_limit, maxconns=maxconns,
-        backlog=backlog, virtualize_keys=virtualize)
+        backlog=backlog, virtualize_keys=virtualize, cores=cores)
     baseline = _healthy_latency_summary(base_gen, healthy)
     baseline.update(ok=base_gen.ok, failed=base_gen.failed,
                     shed=base_gen.shed, refused=base_gen.refused,
@@ -668,7 +673,7 @@ def run_tenants_study(backend: str, tenants: int = 100,
         backend, profiles, arrivals, pool,
         inject=inject_spec_for(profiles) or None,
         quotas=quotas, revive_limit=revive_limit, maxconns=maxconns,
-        backlog=backlog, virtualize_keys=virtualize)
+        backlog=backlog, virtualize_keys=virtualize, cores=cores)
     study = _healthy_latency_summary(gen, healthy)
     study.update(ok=gen.ok, failed=gen.failed, shed=gen.shed,
                  refused=gen.refused, reset=gen.reset)
@@ -693,6 +698,7 @@ def run_tenants_study(backend: str, tenants: int = 100,
         "offered_rps": round(offered_rps, 1),
         "process": process,
         "seed": seed,
+        "cores": cores,
         "quotas": quotas,
         "revive_limit": revive_limit,
         "profiles": {name: profiles[name] for name in names
