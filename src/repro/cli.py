@@ -283,6 +283,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     offered = tuple(float(x) for x in args.offered.split(","))
     policies = {"on": ["quarantine"], "off": ["abort"],
                 "both": ["abort", "quarantine"]}[args.containment]
+    spans_on = args.spans is not None or args.flight is not None
     results = []
     for backend in args.backends.split(","):
         for policy in policies:
@@ -290,7 +291,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 backend, offered=offered, requests=args.requests,
                 seed=args.seed, process=args.process, pool=args.pool,
                 maxconns=args.maxconns, backlog=args.backlog,
-                fault_policy=policy, cores=args.cores)
+                fault_policy=policy, cores=args.cores,
+                spans=spans_on, span_sample=args.span_sample,
+                inject=args.inject)
             results.extend(sweep)
             slo_ns = args.slo_ms * 1e6
             capacity = loadgen.capacity_at_slo(sweep, slo_ns)
@@ -305,10 +308,35 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     else:
         print(table)
     if args.report:
-        doc = [r.to_dict() for r in results]
+        # Same slo_ms as the table, so the JSON and markdown verdicts
+        # agree field-for-field.
+        doc = [r.to_dict(args.slo_ms) for r in results]
         pathlib.Path(args.report).write_text(
             json.dumps(doc, indent=1, sort_keys=True) + "\n")
         print(f"-- wrote loadtest report to {args.report}", file=sys.stderr)
+    recorders = [(f"{r.backend}/{r.policy}/{r.offered_rps:g}", r.spans)
+                 for r in results if r.spans is not None]
+    if args.spans is not None and recorders:
+        from repro.spans import write_span_trace
+        count = write_span_trace(args.spans, recorders)
+        print(f"-- wrote {count} span events to {args.spans}",
+              file=sys.stderr)
+    if args.flight is not None and recorders:
+        flight = {label: rec.flight_recorder()
+                  for label, rec in recorders}
+        pathlib.Path(args.flight).write_text(
+            json.dumps(flight, indent=1, sort_keys=True) + "\n")
+        print(f"-- wrote flight-recorder dumps to {args.flight}",
+              file=sys.stderr)
+    if args.exemplars is not None:
+        registry = next((r.registry for r in reversed(results)
+                         if r.registry is not None), None)
+        if registry is not None:
+            _write_text(args.exemplars,
+                        registry.render_text(exemplars=True))
+            if args.exemplars != "-":
+                print(f"-- wrote exemplar exposition to {args.exemplars}",
+                      file=sys.stderr)
     # Sanity gate for CI: every request must be accounted for, and at
     # least one level per backend must reach the server's saturation
     # regime (goodput below offered) so the curve actually bends.
@@ -336,8 +364,10 @@ def cmd_tenants(args: argparse.Namespace) -> int:
     from repro.workloads import tenants as tenants_mod
 
     results = []
+    recorders = []
     status = 0
     for backend in args.backends.split(","):
+        spans_out = [] if args.spans is not None else None
         report = tenants_mod.run_tenants_study(
             backend, tenants=args.tenants, requests=args.requests,
             offered_rps=args.rate, seed=args.seed, process=args.process,
@@ -348,7 +378,13 @@ def cmd_tenants(args: argparse.Namespace) -> int:
             faulty_frac=args.faulty_frac,
             cpuhog_frac=args.cpuhog_frac,
             memhog_frac=args.memhog_frac,
-            cores=args.cores)
+            cores=args.cores,
+            spans=args.spans is not None,
+            span_sample=args.span_sample,
+            spans_out=spans_out)
+        if spans_out:
+            recorders.extend((f"{backend}/{label}", recorder)
+                             for label, recorder in spans_out)
         results.append(report)
         print(tenants_mod.format_report(report))
         print()
@@ -367,6 +403,11 @@ def cmd_tenants(args: argparse.Namespace) -> int:
         pathlib.Path(args.report).write_text(
             json.dumps(results, indent=1, sort_keys=True) + "\n")
         print(f"-- wrote tenants report to {args.report}", file=sys.stderr)
+    if args.spans is not None and recorders:
+        from repro.spans import write_span_trace
+        count = write_span_trace(args.spans, recorders)
+        print(f"-- wrote {count} span events to {args.spans}",
+              file=sys.stderr)
     return status
 
 
@@ -537,6 +578,24 @@ def main(argv: list[str] | None = None) -> int:
                             help="write the markdown capacity table")
     p_loadtest.add_argument("--report", metavar="OUT.json", default=None,
                             help="write per-level results as JSON")
+    p_loadtest.add_argument("--spans", metavar="OUT.json", default=None,
+                            help="enable request-scoped tracing and write "
+                                 "the span export (Chrome trace-event "
+                                 "JSON, one lane per level)")
+    p_loadtest.add_argument("--span-sample", type=float, default=1.0,
+                            metavar="FRAC",
+                            help="tail-sampling keep fraction for healthy "
+                                 "traces (anomalous traces always kept)")
+    p_loadtest.add_argument("--inject", metavar="SPEC", default=None,
+                            help="fault-injection spec for the serving "
+                                 "machine (see 'run --inject')")
+    p_loadtest.add_argument("--flight", metavar="OUT.json", default=None,
+                            help="enable spans and write the per-level "
+                                 "flight-recorder dumps (black boxes of "
+                                 "contained faults)")
+    p_loadtest.add_argument("--exemplars", metavar="OUT|-", default=None,
+                            help="write the last level's exposition with "
+                                 "trace-id exemplars on latency buckets")
     p_loadtest.set_defaults(func=cmd_loadtest)
 
     p_tenants = sub.add_parser(
@@ -576,6 +635,13 @@ def main(argv: list[str] | None = None) -> int:
                                 "gate passes")
     p_tenants.add_argument("--report", metavar="OUT.json", default=None,
                            help="write the study reports as JSON")
+    p_tenants.add_argument("--spans", metavar="OUT.json", default=None,
+                           help="enable request-scoped tracing on both "
+                                "legs and write the span export")
+    p_tenants.add_argument("--span-sample", type=float, default=1.0,
+                           metavar="FRAC",
+                           help="tail-sampling keep fraction for healthy "
+                                "traces")
     p_tenants.set_defaults(func=cmd_tenants)
 
     p_report = sub.add_parser(

@@ -101,6 +101,10 @@ class LitterBox:
         #: Optional deterministic fault injector (repro.inject), wired
         #: by the machine; ``None`` keeps Prolog injection-free.
         self.injector = None
+        #: Optional request-span recorder (repro.spans), wired by the
+        #: machine: Prolog/Epilog open and close per-enclosure
+        #: sub-spans on the current request's trace.
+        self.spans = None
         #: Optional callback invalidating the interpreter's compiled
         #: JIT traces, wired by the machine; called wherever the other
         #: fast-path memos are revoked (quarantine trips).
@@ -230,6 +234,8 @@ class LitterBox:
             goroutine.env = target
             self.clock.tick("switches")
             self.backend.switch_to(cpu, target)
+            if self.spans is not None:
+                self.spans.on_prolog(goroutine, target.name)
         finally:
             if span is not None:
                 tracer.end(span)
@@ -257,10 +263,13 @@ class LitterBox:
             if not goroutine.env_stack:
                 raise Fault("exec", "Epilog without a matching Prolog")
             previous, fp, sp, stack = goroutine.env_stack.pop()
+            left = goroutine.env.name
             goroutine.env = previous
             cpu.fp, cpu.sp, cpu.stack = fp, sp, stack
             self.clock.tick("switches")
             self.backend.switch_to(cpu, previous)
+            if self.spans is not None:
+                self.spans.on_epilog(goroutine, left)
             if self.metrics is not None:
                 self.metrics.switches.inc(env=previous.name, kind="epilog")
             if span is not None:
@@ -398,6 +407,8 @@ class LitterBox:
             if self.metrics is not None:
                 self.metrics.transfers.inc(pkg=to_pkg)
                 self.metrics.transfer_bytes.inc(size, pkg=to_pkg)
+            if self.spans is not None:
+                self.spans.on_transfer(to_pkg, size)
         finally:
             if span is not None:
                 tracer.end(span)

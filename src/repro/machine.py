@@ -99,6 +99,22 @@ class MachineConfig:
     profile: bool = False
     #: Sampling period of the profiler, in simulated nanoseconds.
     profile_period_ns: float = 1000.0
+    # Request-scoped distributed tracing (repro.spans).  Same
+    # wall-clock-only contract as the tracer/metrics/profiler: the
+    # recorder never charges simulated time, and with ``spans=False``
+    # every propagation hook is a single ``is None`` test.
+    #: Attach a SpanRecorder to every propagation/enforcement point.
+    spans: bool = False
+    #: Seed for deterministic trace-id derivation (the load generator
+    #: overrides this with its own seed per level).
+    span_seed: int = 0
+    #: Tail-sampling keep fraction for *healthy* traces; anomalous
+    #: traces (faulted/shed/refused/reset/SLO-exceeded) always survive.
+    span_sample: float = 1.0
+    #: SLO latency threshold (sim ns) above which a trace is anomalous.
+    span_slo_ns: float = 1_000_000.0
+    #: Flight-recorder ring depth: last-N events kept per core.
+    span_ring: int = 32
 
 FAULT_POLICIES = ("abort", "kill-goroutine", "quarantine")
 
@@ -216,6 +232,24 @@ class Machine:
         self.scheduler.tracer = self.tracer
         self.scheduler.profiler = self.profiler
         self.channels = ChannelTable(self.scheduler.wake)
+        #: Request-span recorder (``None`` unless ``config.spans``);
+        #: the same null-path contract as the tracer.
+        self.spans = None
+        if config.spans:
+            from repro.spans import SpanRecorder
+            spans = SpanRecorder(self.clock, seed=config.span_seed,
+                                 sample=config.span_sample,
+                                 slo_ns=config.span_slo_ns,
+                                 cores=config.cores,
+                                 ring=config.span_ring)
+            spans.scheduler = self.scheduler
+            spans.net = self.kernel.net
+            self.spans = spans
+            self.scheduler.spans = spans
+            self.channels.spans = spans
+            self.kernel.spans = spans
+            self.kernel.net.spans = spans
+            self.litterbox.spans = spans
         self.runtime = Runtime(self.mmu, self.allocator, self.scheduler,
                                self.channels, self.pkg_names)
         if self.metrics_registry is not None:
@@ -517,4 +551,9 @@ class Machine:
             report["injector"] = self.injector.report()
         if self.quota is not None:
             report["quota"] = self.quota.snapshot()
+        if self.spans is not None and self.spans.fault_dumps:
+            # The per-core flight recorder's black-box snapshots, one
+            # per contained fault.  Keyed in only when non-empty so a
+            # clean run's report is byte-identical to a spans-off run.
+            report["flight_recorder"] = self.spans.flight_recorder()
         return report

@@ -105,6 +105,15 @@ class MetricFamily:
         """Yield ``(series, value)`` pairs, children sorted by labels."""
         raise NotImplementedError
 
+    def render_lines(self, const: tuple[tuple[str, str], ...],
+                     exemplars: bool = False):
+        """Yield formatted sample lines.  ``exemplars`` is accepted by
+        every family but only histograms attach them (see the
+        :class:`Histogram` override); with it off the output is
+        byte-identical to the pre-exemplar format."""
+        for series, value in self.samples(const):
+            yield f"{series} {_fmt(value)}"
+
 
 class Counter(MetricFamily):
     """Monotonically increasing count (renders as TYPE counter)."""
@@ -164,12 +173,16 @@ class Gauge(MetricFamily):
 
 
 class _HistChild:
-    __slots__ = ("counts", "total", "count")
+    __slots__ = ("counts", "total", "count", "exemplars")
 
     def __init__(self, nbuckets: int) -> None:
         self.counts = [0] * nbuckets
         self.total = 0.0
         self.count = 0
+        #: Lazily-allocated ``{bucket index: (trace_id, value)}`` map —
+        #: the latest exemplar observed per bucket.  ``None`` until the
+        #: first exemplar so exemplar-free histograms pay nothing.
+        self.exemplars: dict | None = None
 
 
 class Histogram(MetricFamily):
@@ -187,7 +200,12 @@ class Histogram(MetricFamily):
             buckets = buckets + (float("inf"),)
         self.buckets = buckets
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(self, value: float, exemplar: str | None = None,
+                **labels: str) -> None:
+        """Record ``value``; an optional ``exemplar`` (a lowercase-hex
+        trace id) is attached to the bucket the value lands in —
+        last-writer-wins per bucket, so cardinality is bounded by the
+        bucket count regardless of traffic volume."""
         key = self._key(labels)
         child = self._children.get(key)
         if child is None:
@@ -195,6 +213,10 @@ class Histogram(MetricFamily):
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 child.counts[i] += 1
+                if exemplar is not None:
+                    if child.exemplars is None:
+                        child.exemplars = {}
+                    child.exemplars[i] = (exemplar, value)
                 break
         child.total += value
         child.count += 1
@@ -209,12 +231,15 @@ class Histogram(MetricFamily):
         Linear interpolation within the bucket holding the target rank,
         the standard Prometheus ``histogram_quantile`` estimate.  Values
         in the ``+Inf`` bucket clamp to the largest finite bound.
-        Returns NaN for an empty child.  Deterministic: depends only on
-        bucket counts.
+        Returns 0.0 for an empty child — NaN poisons downstream
+        comparisons (every ``p99 < slo`` check silently fails) and
+        serialises asymmetrically in JSON, so "no observations" reads
+        as the identity latency instead.  Deterministic: depends only
+        on bucket counts.
         """
         child = self._children.get(self._key(labels))
         if child is None or child.count == 0:
-            return float("nan")
+            return 0.0
         rank = q * child.count
         cumulative = 0
         lower = 0.0
@@ -241,6 +266,32 @@ class Histogram(MetricFamily):
                 yield series, cumulative
             yield self._series_name(key, const, "_sum"), child.total
             yield self._series_name(key, const, "_count"), child.count
+
+    def render_lines(self, const, exemplars: bool = False):
+        """OpenMetrics-style exemplar suffix on ``_bucket`` lines:
+        ``series value # {trace_id="…"} exemplar_value``.  Only emitted
+        when asked for — the default exposition never changes shape."""
+        if not exemplars:
+            yield from super().render_lines(const)
+            return
+        for key in sorted(self._children):
+            child = self._children[key]
+            cumulative = 0
+            for i, (bound, n) in enumerate(zip(self.buckets,
+                                               child.counts)):
+                cumulative += n
+                series = self._series_name(
+                    key, const, "_bucket", (("le", _fmt(bound)),))
+                line = f"{series} {_fmt(cumulative)}"
+                ex = (child.exemplars.get(i)
+                      if child.exemplars is not None else None)
+                if ex is not None:
+                    line += f' # {{trace_id="{ex[0]}"}} {_fmt(ex[1])}'
+                yield line
+            sum_series = self._series_name(key, const, "_sum")
+            yield f"{sum_series} {_fmt(child.total)}"
+            count_series = self._series_name(key, const, "_count")
+            yield f"{count_series} {_fmt(child.count)}"
 
 
 class MetricsRegistry:
@@ -292,8 +343,13 @@ class MetricsRegistry:
 
     # -- exposition ----------------------------------------------------------
 
-    def render_text(self, collect: bool = True) -> str:
-        """Prometheus text format 0.0.4, byte-deterministic."""
+    def render_text(self, collect: bool = True,
+                    exemplars: bool = False) -> str:
+        """Prometheus text format 0.0.4, byte-deterministic.
+
+        ``exemplars=True`` appends OpenMetrics-style exemplar suffixes
+        to histogram bucket lines; the default rendering is
+        byte-identical to the pre-exemplar format."""
         if collect:
             self._collect()
         out: list[str] = []
@@ -301,8 +357,7 @@ class MetricsRegistry:
             family = self._families[name]
             out.append(f"# HELP {name} {family.help_text}")
             out.append(f"# TYPE {name} {family.typename}")
-            for series, value in family.samples(self.const_labels):
-                out.append(f"{series} {_fmt(value)}")
+            out.extend(family.render_lines(self.const_labels, exemplars))
         return "\n".join(out) + "\n"
 
     def render_json(self, collect: bool = True) -> str:
@@ -435,10 +490,14 @@ class EnforcementMetrics:
 
 # -- validation ---------------------------------------------------------------
 
+_NUM_PAT = r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN"
 _SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\",?)*)\})?"
-    r" (-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$")
+    rf" ({_NUM_PAT})"
+    # Optional OpenMetrics-style exemplar, valid only on histogram
+    # _bucket lines (checked by the validator, not the regex).
+    rf"(?: # \{{trace_id=\"([0-9a-f]+)\"\}} ({_NUM_PAT}))?$")
 _LE_RE = re.compile(r'le="((?:[^"\\]|\\.)*)"')
 _LE_PAIR_RE = re.compile(r'le="(?:[^"\\]|\\.)*"')
 
@@ -518,13 +577,23 @@ def validate_exposition(source) -> int:
         if match is None:
             raise MetricsFormatError(
                 f"line {lineno}: malformed sample {line!r}")
-        metric, labels, value_text = match.groups()
+        metric, labels, value_text, ex_id, ex_value = match.groups()
         base = base_name(metric)
         if base not in types or base not in helped:
             raise MetricsFormatError(
                 f"line {lineno}: sample {metric!r} without HELP/TYPE "
                 f"for {base!r}")
-        series_id = line.rsplit(" ", 1)[0]
+        if ex_id is not None:
+            # Exemplars are only meaningful on histogram bucket lines.
+            if (types.get(base) != "histogram" or metric == base
+                    or not metric.endswith("_bucket")):
+                raise MetricsFormatError(
+                    f"line {lineno}: exemplar on non-bucket series "
+                    f"{metric!r}")
+            _parse_num(ex_value)
+        # Rebuild the series id from the parse rather than splitting the
+        # line: an exemplar suffix would otherwise leak into the id.
+        series_id = metric if labels is None else f"{metric}{{{labels}}}"
         if series_id in seen_series:
             raise MetricsFormatError(
                 f"line {lineno}: duplicate series {series_id!r}")

@@ -96,6 +96,10 @@ class Kernel:
         #: while the kernel runs (time advances via ``clock.charge``),
         #: so syscall return is where in-kernel samples materialize.
         self.profiler = None
+        #: Optional request-span recorder, wired by the machine:
+        #: adopts wire trace contexts on socket reads and annotates
+        #: filter verdicts onto the current request's trace.
+        self.spans = None
         #: Optional FaultInjector consulted at every kernel entry.
         self.inject = None
         #: Which goroutine last used each fd (fd -> gid); drives
@@ -213,6 +217,10 @@ class Kernel:
                     self.metrics.verdicts.inc(
                         mechanism="injector", verdict="errno",
                         category=sc.CATEGORY_OF.get(nr, "other"))
+                if self.spans is not None:
+                    self.spans.annotate_filter(
+                        "inject", sc.CATEGORY_OF.get(nr, "other"),
+                        "injector")
                 return forced
         if self.seccomp_filter is not None:
             filt = self.seccomp_filter
@@ -249,6 +257,10 @@ class Kernel:
                                    mechanism="seccomp-bpf", nr=nr,
                                    pkru=pkru, verdict="kill",
                                    bpf_insns=executed)
+                if self.spans is not None:
+                    self.spans.annotate_filter(
+                        "kill", sc.CATEGORY_OF.get(nr, "other"),
+                        "seccomp-bpf")
                 raise SyscallFault(
                     f"seccomp killed {sc.syscall_name(nr)} "
                     f"(pkru={pkru:#010x})", nr)
@@ -258,6 +270,10 @@ class Kernel:
                                    mechanism="seccomp-bpf", nr=nr,
                                    pkru=pkru, verdict="errno",
                                    errno=ret & 0xFFFF, bpf_insns=executed)
+                if self.spans is not None:
+                    self.spans.annotate_filter(
+                        "deny", sc.CATEGORY_OF.get(nr, "other"),
+                        "seccomp-bpf")
                 return -(ret & 0xFFFF)
             if action != SECCOMP_RET_ALLOW:  # pragma: no cover
                 raise KernelError(f"unsupported seccomp action {ret:#x}")
@@ -266,6 +282,12 @@ class Kernel:
                                mechanism="seccomp-bpf", nr=nr,
                                pkru=pkru, verdict="allow",
                                bpf_insns=executed)
+            if self.spans is not None:
+                # Allows are ring-only breadcrumbs (cardinality: one
+                # annotation per *denied* syscall, not per syscall).
+                self.spans.annotate_filter(
+                    "allow", sc.CATEGORY_OF.get(nr, "other"),
+                    "seccomp-bpf")
         handler = self._handlers.get(nr)
         if handler is None:
             return -errno.ENOSYS
@@ -609,6 +631,10 @@ class Kernel:
             COSTS.SYSCALL_SERVICE_MIN + COSTS.NET_BYTE * len(result))
         if result:
             self._copy_out(ctx, buf, result)
+            if self.spans is not None:
+                # The server consumed request bytes: adopt the wire's
+                # trace context onto the reading goroutine.
+                self.spans.on_sock_read(sock.endpoint)
         return len(result)
 
     def _sys_sendto(self, ctx, args) -> int:

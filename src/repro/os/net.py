@@ -88,7 +88,13 @@ class Endpoint:
         if self.peer.closed:
             return -errno.ECONNRESET
         self.peer.rx.extend(data)
-        self.conn.network._delivered(self.peer)
+        network = self.conn.network
+        if network.spans is not None:
+            # Request-span propagation: stamp the sender's trace
+            # context onto the receiving end (before delivery, which
+            # may run a host-side recorder synchronously).
+            network.spans.on_endpoint_send(self)
+        network._delivered(self.peer)
         return len(data)
 
     def recv(self, count: int) -> bytes | int | None:
@@ -173,6 +179,8 @@ class Network:
         #: connection refused because the queue was full.
         self.on_backlog: Callable[[int, int], None] | None = None
         self.on_refused: Callable[[int], None] | None = None
+        #: Optional request-span recorder, wired by the machine.
+        self.spans = None
 
     # -- host-side wiring -------------------------------------------------
 

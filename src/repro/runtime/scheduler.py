@@ -64,6 +64,9 @@ class Goroutine:
     #: Simulated instant the goroutine became runnable; an SMP core
     #: never starts a slice before the goroutine was actually ready.
     ready_at: float = 0.0
+    #: Request-scoped trace context (spans observer): inherited across
+    #: ``go``, adopted from the wire/channels, never charged sim time.
+    trace_ctx: object = None
 
 
 @dataclass
@@ -123,6 +126,8 @@ class Scheduler:
         #: Optional sim-time sampling profiler, wired by the machine;
         #: Execute re-points its env attribution like the tracer's.
         self.profiler = None
+        #: Optional request-span recorder, wired by the machine.
+        self.spans = None
         #: Fault policy: "abort" (paper §2.2), "kill-goroutine", or
         #: "quarantine" (kill + trip the enclosure's quarantine breaker).
         self.fault_policy = "abort"
@@ -164,6 +169,8 @@ class Scheduler:
         # outside the machine.  On one core this is the classic queue.
         if self.current is not None:
             goroutine.core = self.current.core
+        if self.spans is not None:
+            self.spans.on_spawn(self.current, goroutine)
         goroutine.ready_at = self.cpu.clock.now_ns
         self.cores[goroutine.core].runq.append(goroutine)
         return goroutine
@@ -333,6 +340,8 @@ class Scheduler:
                 tracer.end(span)
             if self.profiler is not None:
                 self.profiler.set_env(goroutine.env.name)
+            if self.spans is not None and goroutine.trace_ctx is not None:
+                self.spans.on_slice(goroutine, core.id)
             goroutine.state = "running"
 
             # run_slice counts architectural instructions (2 per
@@ -432,6 +441,9 @@ class Scheduler:
         goroutine.activation = None
         lb.release_stacks(goroutine)
         self.contained.append(fault)
+        if self.spans is not None:
+            self.spans.on_contained_fault(goroutine, fault.kind,
+                                          goroutine.core)
         if span is not None:
             span.args.update(detail=fault.detail, unwound=depth,
                              reclaimed_fds=reclaimed)
@@ -441,6 +453,9 @@ class Scheduler:
             fresh = self.spawn(goroutine.entry, goroutine.args,
                                env=goroutine.env)
             fresh.restarts = goroutine.restarts + 1
+            # The restart serves future requests, not the one that
+            # died with its spawner's context.
+            fresh.trace_ctx = None
             if goroutine is self.main:
                 self.main = fresh
             if tracer is not None:

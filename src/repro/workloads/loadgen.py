@@ -91,12 +91,17 @@ ARRIVAL_PROCESSES = {
 class _Slot:
     """One keep-alive connection plus its client-side FIFO of arrivals."""
 
-    __slots__ = ("conn", "queue", "inflight_arrival", "rxbuf", "port")
+    __slots__ = ("conn", "queue", "ctxq", "inflight_arrival",
+                 "inflight_ctx", "rxbuf", "port")
 
     def __init__(self, port: int = asynchttp.PORT) -> None:
         self.conn = None
         self.queue: list[float] = []       # scheduled arrival times, FIFO
+        #: Trace contexts in lockstep with ``queue`` (``None`` entries
+        #: when spans are off, so pops never need a guard).
+        self.ctxq: list = []
         self.inflight_arrival: float | None = None
+        self.inflight_ctx = None
         self.rxbuf = bytearray()
         self.port = port
 
@@ -128,6 +133,10 @@ class _Recorder:
             self.gen._slot_eof(self.slot)
 
 
+#: SLO used for the capacity verdict when the caller doesn't override.
+DEFAULT_SLO_MS = 1.0
+
+
 @dataclass
 class LoadResult:
     """One offered-load level's outcome."""
@@ -152,8 +161,19 @@ class LoadResult:
     p99_ns: float = 0.0
     p999_ns: float = 0.0
     latencies_ns: list[float] = field(default_factory=list)
+    #: The serving machine's span recorder (``None`` unless the level
+    #: ran with spans); not serialized — the CLI exports it separately.
+    spans: object = field(default=None, repr=False)
+    #: The serving machine's metrics registry, for exemplar-annotated
+    #: expositions; not serialized.
+    registry: object = field(default=None, repr=False)
 
-    def to_dict(self) -> dict:
+    def slo_met(self, slo_ms: float = DEFAULT_SLO_MS) -> bool:
+        """The table's "p99<SLO" verdict — the single source of truth,
+        so the JSON report and the markdown table can never disagree."""
+        return bool(self.ok and self.p99_ns <= slo_ms * 1e6)
+
+    def to_dict(self, slo_ms: float = DEFAULT_SLO_MS) -> dict:
         return {
             "backend": self.backend,
             "policy": self.policy,
@@ -171,6 +191,8 @@ class LoadResult:
             "p50_us": round(self.p50_ns / 1e3, 1),
             "p99_us": round(self.p99_ns / 1e3, 1),
             "p999_us": round(self.p999_ns / 1e3, 1),
+            "slo_ms": slo_ms,
+            "p99_slo_met": self.slo_met(slo_ms),
         }
 
 
@@ -202,17 +224,32 @@ class OpenLoopLoadGen:
     def _complete(self, slot: _Slot, status: int, server_closes: bool) -> None:
         latency = self.clock.now_ns - slot.inflight_arrival
         slot.inflight_arrival = None
+        ctx = slot.inflight_ctx
+        slot.inflight_ctx = None
         if status == 200:
             self.ok += 1
+            outcome = "ok"
             self.latencies.append(latency)
             metrics = self.machine.metrics
             if metrics is not None:
                 metrics.request_latency.observe(
-                    latency, workload=WORKLOAD_LABEL)
+                    latency,
+                    exemplar=ctx.hex if ctx is not None else None,
+                    workload=WORKLOAD_LABEL)
         elif status == 503:
             self.shed += 1
+            outcome = "shed"
+        elif status == 500:
+            # The kernel's reclaim notice: the handling enclosure
+            # faulted and was contained mid-request.
+            self.reset += 1
+            outcome = "failed"
         else:
             self.reset += 1
+            outcome = "reset"
+        spans = self.machine.spans
+        if spans is not None and ctx is not None:
+            spans.complete_request(ctx, status, outcome)
         if server_closes:
             self._drop_conn(slot)
         self._pump_slot(slot)
@@ -248,6 +285,12 @@ class OpenLoopLoadGen:
     def _drop_conn(self, slot: _Slot) -> None:
         if slot.conn is not None:
             self.net._service_endpoints.pop(id(slot.conn.client), None)
+            spans = self.machine.spans
+            if spans is not None:
+                # Endpoint ids are recycled; forget undelivered wire
+                # contexts so they can't leak onto a future connection.
+                spans.forget_endpoint(slot.conn.client)
+                spans.forget_endpoint(slot.conn.client.peer)
             if not slot.conn.client.closed:
                 slot.conn.client.close()
             slot.conn = None
@@ -257,24 +300,41 @@ class OpenLoopLoadGen:
 
     def _pump_slot(self, slot: _Slot) -> None:
         """Start the next queued request, reconnecting as needed."""
+        spans = self.machine.spans
         while slot.inflight_arrival is None and slot.queue:
             if slot.conn is None:
                 conn = self.net.connect(LOCALHOST, slot.port)
                 if isinstance(conn, int):
                     # Kernel accept queue full: instant refusal.
                     slot.queue.pop(0)
+                    ctx = slot.ctxq.pop(0)
+                    if spans is not None and ctx is not None:
+                        spans.mark_refused(ctx)
                     self.refused += 1
                     continue
                 slot.conn = conn
                 self.net._service_endpoints[id(conn.client)] = \
                     _Recorder(self, slot)
             slot.inflight_arrival = slot.queue.pop(0)
-            sent = slot.conn.client.send(REQUEST_KEEPALIVE)
+            slot.inflight_ctx = slot.ctxq.pop(0)
+            if spans is not None:
+                # The pump often runs synchronously inside the server's
+                # response write, where ``scheduler.current`` is still
+                # the server goroutine: pin the outgoing context so the
+                # wire hook attributes these bytes to the new request.
+                spans.outgoing_ctx = slot.inflight_ctx
+                sent = slot.conn.client.send(REQUEST_KEEPALIVE)
+                spans.outgoing_ctx = None
+            else:
+                sent = slot.conn.client.send(REQUEST_KEEPALIVE)
             if sent < 0:
                 # Connection died between responses: retry on a new one.
                 arrival = slot.inflight_arrival
+                ctx = slot.inflight_ctx
                 slot.inflight_arrival = None
+                slot.inflight_ctx = None
                 slot.queue.insert(0, arrival)
+                slot.ctxq.insert(0, ctx)
                 self._drop_conn(slot)
 
     def _resume(self) -> None:
@@ -307,6 +367,10 @@ class OpenLoopLoadGen:
                 self.clock.charge(due_at - self.clock.now_ns)
             slot = self.slots[next_idx % len(self.slots)]
             slot.queue.append(due_at)
+            spans = self.machine.spans
+            slot.ctxq.append(
+                spans.client_arrival(next_idx, due_at)
+                if spans is not None else None)
             self._pump_slot(slot)
             self._resume()
         # Drain: every arrival dispatched; let in-flight work finish.
@@ -349,17 +413,23 @@ def run_level(backend: str, offered_rps: float, requests: int, seed: int,
               backlog: int = asynchttp.DEFAULT_BACKLOG,
               fault_policy: str = "abort",
               config: MachineConfig | None = None,
-              cores: int = 1) -> LoadResult:
+              cores: int = 1, spans: bool = False,
+              span_sample: float = 1.0,
+              inject: str | None = None) -> LoadResult:
     """One offered-load level on a fresh machine.
 
     ``cores > 1`` boots an SMP machine with one server worker (its own
     listener on ``PORT + i``) per core and spreads the connection pool
-    across the workers' ports."""
+    across the workers' ports.  ``spans`` arms the request-span
+    recorder (trace ids derive from ``seed``); ``inject`` forwards a
+    fault-injection spec so the flight recorder has faults to dump."""
     arrivals = ARRIVAL_PROCESSES[process](offered_rps, requests, seed)
     workers = max(1, cores)
     if config is None:
         config = MachineConfig(backend=backend, metrics=True,
-                               fault_policy=fault_policy, cores=cores)
+                               fault_policy=fault_policy, cores=cores,
+                               inject=inject, spans=spans,
+                               span_seed=seed, span_sample=span_sample)
     machine = asynchttp.run_async_server(
         backend, config=config, maxconns=maxconns, backlog=backlog,
         workers=workers)
@@ -371,6 +441,8 @@ def run_level(backend: str, offered_rps: float, requests: int, seed: int,
     result.policy = fault_policy
     result.contained = len(machine.containment_report()["contained"])
     result.cores = machine.config.cores
+    result.spans = machine.spans
+    result.registry = machine.metrics_registry
     return result
 
 
@@ -390,18 +462,21 @@ def capacity_at_slo(results: list[LoadResult], slo_ns: float) -> float:
     return best
 
 
-def format_table(results: list[LoadResult], slo_ms: float = 1.0) -> str:
-    """Markdown goodput-vs-offered-load table."""
+def format_table(results: list[LoadResult],
+                 slo_ms: float = DEFAULT_SLO_MS) -> str:
+    """Markdown goodput-vs-offered-load table.
+
+    Every cell (verdict included) comes from ``to_dict`` so the table
+    and the JSON report agree field-for-field by construction."""
     lines = [
         "| backend | policy | process | offered rps | ok | shed | refused "
         "| reset | contained | goodput rps | p50 µs | p99 µs | p999 µs "
         "| p99<SLO |",
         "|" + "---|" * 14,
     ]
-    slo_ns = slo_ms * 1e6
     for r in results:
-        d = r.to_dict()
-        met = "yes" if (r.ok and r.p99_ns <= slo_ns) else "no"
+        d = r.to_dict(slo_ms)
+        met = "yes" if d["p99_slo_met"] else "no"
         lines.append(
             f"| {r.backend} | {r.policy} "
             f"| {r.process} | {d['offered_rps']:.0f} | {r.ok} | {r.shed} "

@@ -552,11 +552,15 @@ class TenantLoadGen(OpenLoopLoadGen):
     def _pump_slot(self, slot) -> None:
         index = self._slot_index[id(slot)]
         tenant_q = self._tenant_q[index]
+        spans = self.machine.spans
         while slot.inflight_arrival is None and slot.queue:
             if slot.conn is None:
                 conn = self.net.connect(LOCALHOST, slot.port)
                 if isinstance(conn, int):
                     slot.queue.pop(0)
+                    ctx = slot.ctxq.pop(0)
+                    if spans is not None and ctx is not None:
+                        spans.mark_refused(ctx)
                     name = tenant_q.pop(0)
                     self.refused += 1
                     self.per_tenant[name]["refused"] += 1
@@ -565,13 +569,22 @@ class TenantLoadGen(OpenLoopLoadGen):
                 self.net._service_endpoints[id(conn.client)] = \
                     _Recorder(self, slot)
             slot.inflight_arrival = slot.queue.pop(0)
+            slot.inflight_ctx = slot.ctxq.pop(0)
             name = tenant_q.pop(0)
             self._inflight_tid[index] = name
-            sent = slot.conn.client.send(self._request_for(name))
+            if spans is not None:
+                spans.outgoing_ctx = slot.inflight_ctx
+                sent = slot.conn.client.send(self._request_for(name))
+                spans.outgoing_ctx = None
+            else:
+                sent = slot.conn.client.send(self._request_for(name))
             if sent < 0:
                 arrival = slot.inflight_arrival
+                ctx = slot.inflight_ctx
                 slot.inflight_arrival = None
+                slot.inflight_ctx = None
                 slot.queue.insert(0, arrival)
+                slot.ctxq.insert(0, ctx)
                 tenant_q.insert(0, self._inflight_tid.pop(index))
                 self._drop_conn(slot)
 
@@ -607,9 +620,10 @@ def _healthy_latency_summary(gen: TenantLoadGen,
 def _run_leg(backend: str, profiles: dict[str, str], arrivals: list[float],
              pool: int, inject: str | None, quotas: str | None,
              revive_limit: int, maxconns: int, backlog: int,
-             virtualize_keys: bool,
-             cores: int = 1) -> tuple[Machine, TenantLoadGen,
-                                      TenantManager]:
+             virtualize_keys: bool, cores: int = 1,
+             spans: bool = False, span_seed: int = 0,
+             span_sample: float = 1.0) -> tuple[Machine, TenantLoadGen,
+                                                TenantManager]:
     # One listener is enough on SMP: tenantsrv hands each request to a
     # fresh ``go handleOne`` goroutine, which work stealing spreads
     # across the cores.
@@ -617,7 +631,8 @@ def _run_leg(backend: str, profiles: dict[str, str], arrivals: list[float],
     config = MachineConfig(
         backend=backend, metrics=True, fault_policy="quarantine",
         quarantine_threshold=1, quotas=quotas, inject=inject,
-        virtualize_keys=virtualize_keys, cores=cores)
+        virtualize_keys=virtualize_keys, cores=cores,
+        spans=spans, span_seed=span_seed, span_sample=span_sample)
     machine = Machine(image, config)
     machine.kernel.reclaim_notice = ERROR_RESPONSE
     result = machine.run()
@@ -642,11 +657,17 @@ def run_tenants_study(backend: str, tenants: int = 100,
                       maxconns: int = DEFAULT_MAXCONNS,
                       backlog: int = DEFAULT_BACKLOG,
                       profiles: dict[str, str] | None = None,
-                      cores: int = 1) -> dict:
+                      cores: int = 1, spans: bool = False,
+                      span_sample: float = 1.0,
+                      spans_out: list | None = None) -> dict:
     """Containment-under-load: a no-injection all-healthy baseline leg,
     then the mixed-roster leg with injected faults and quotas, at the
     same offered load.  Returns a deterministic report (the CI smoke
     runs it twice and diffs the JSON byte-for-byte).
+
+    ``spans`` arms the request-span recorder on both legs;
+    ``spans_out``, when a list, receives the ``(label, recorder)``
+    pairs for export (the JSON report itself never changes shape).
     """
     if profiles is None:
         profiles = assign_profiles(tenants, faulty_frac, cpuhog_frac,
@@ -660,10 +681,11 @@ def run_tenants_study(backend: str, tenants: int = 100,
     virtualize = backend == "mpk" and len(profiles) > 12
 
     baseline_profiles = {name: "healthy" for name in names}
-    _, base_gen, _ = _run_leg(
+    base_machine, base_gen, _ = _run_leg(
         backend, baseline_profiles, arrivals, pool, inject=None,
         quotas=quotas, revive_limit=revive_limit, maxconns=maxconns,
-        backlog=backlog, virtualize_keys=virtualize, cores=cores)
+        backlog=backlog, virtualize_keys=virtualize, cores=cores,
+        spans=spans, span_seed=seed, span_sample=span_sample)
     baseline = _healthy_latency_summary(base_gen, healthy)
     baseline.update(ok=base_gen.ok, failed=base_gen.failed,
                     shed=base_gen.shed, refused=base_gen.refused,
@@ -673,7 +695,11 @@ def run_tenants_study(backend: str, tenants: int = 100,
         backend, profiles, arrivals, pool,
         inject=inject_spec_for(profiles) or None,
         quotas=quotas, revive_limit=revive_limit, maxconns=maxconns,
-        backlog=backlog, virtualize_keys=virtualize, cores=cores)
+        backlog=backlog, virtualize_keys=virtualize, cores=cores,
+        spans=spans, span_seed=seed, span_sample=span_sample)
+    if spans_out is not None and base_machine.spans is not None:
+        spans_out.append(("baseline", base_machine.spans))
+        spans_out.append(("study", machine.spans))
     study = _healthy_latency_summary(gen, healthy)
     study.update(ok=gen.ok, failed=gen.failed, shed=gen.shed,
                  refused=gen.refused, reset=gen.reset)

@@ -82,7 +82,7 @@ class TestObservabilityBitIdentity:
     *enabling* the metrics registry or the sampling profiler changes no
     simulated value (sim-ns, stdout, trace summaries, response bytes)."""
 
-    OBSERVERS = ["metrics", "profile"]
+    OBSERVERS = ["metrics", "profile", "spans"]
 
     @pytest.mark.parametrize("backend", ENFORCING + ["lwc"])
     @pytest.mark.parametrize("knob", OBSERVERS)
@@ -91,15 +91,15 @@ class TestObservabilityBitIdentity:
             _bild_snapshot(backend, **{knob: True})
 
     @pytest.mark.parametrize("backend", ENFORCING)
-    def test_http_identical_with_both_observers_enabled(self, backend):
+    def test_http_identical_with_all_observers_enabled(self, backend):
         assert _http_snapshot(run_http_server, backend) == \
             _http_snapshot(run_http_server, backend,
-                           metrics=True, profile=True)
+                           metrics=True, profile=True, spans=True)
 
-    def test_fasthttp_identical_with_both_observers_enabled(self):
+    def test_fasthttp_identical_with_all_observers_enabled(self):
         assert _http_snapshot(run_fasthttp_server, "mpk") == \
             _http_snapshot(run_fasthttp_server, "mpk",
-                           metrics=True, profile=True)
+                           metrics=True, profile=True, spans=True)
 
 
 class TestJitBitIdentity:
@@ -135,7 +135,7 @@ class TestJitBitIdentity:
         def snap(jit):
             machine = run_bild("mpk", 16, 16, 1, config=MachineConfig(
                 backend="mpk", jit=jit, trace=True, metrics=True,
-                profile=True))
+                profile=True, spans=True))
             return (machine.clock.now_ns, machine.stdout,
                     machine.tracer.summary())
         assert snap(True) == snap(False)

@@ -237,6 +237,75 @@ class TestScheduler:
         assert machine.clock.now_ns >= frontier
 
 
+#: A consumer that parks on a channel immediately and a CPU-bound
+#: producer: work stealing separates them onto different cores, so the
+#: send that wakes the consumer crosses cores.
+CROSSCORE = """
+package main
+
+var out int
+
+func consume(in chan int, done chan int) {
+    v := <-in
+    done <- v + 1
+}
+
+func produce(in chan int) {
+    n := 0
+    for i := 0; i < 3000; i++ {
+        n = n + i
+    }
+    in <- 7
+}
+
+func main() {
+    in := make(chan int)
+    done := make(chan int)
+    go consume(in, done)
+    go produce(in)
+    out = <-done
+}
+"""
+
+
+class TestSpanPropagationSMP:
+    def test_cross_core_wakeup_keeps_trace_id(self):
+        """A traced goroutine parked on a channel and woken by a sender
+        running on another core keeps its own trace id (the sender's
+        context must not overwrite a receiver that is already tracing
+        its own request), and the two traces' core attributions jointly
+        cover both cores."""
+        from repro.golite import build_program
+
+        config = MachineConfig(backend="baseline", cores=2, spans=True)
+        machine = Machine(build_program([CROSSCORE]), config)
+        recorder = machine.spans
+        ctx_consumer = recorder.client_arrival(0, 0.0)
+        ctx_producer = recorder.client_arrival(1, 0.0)
+        spawned = []
+
+        def stamp_spawn(parent, child):
+            # Stand in for the HTTP front end: hand each worker its own
+            # request context at spawn time.
+            child.trace_ctx = (ctx_consumer if not spawned
+                               else ctx_producer)
+            spawned.append(child)
+
+        recorder.on_spawn = stamp_spawn
+        result = machine.run()
+        assert result.status == "exited", machine.fault
+        assert machine.read_global("main.out") == 8
+        consumer, producer = spawned[0], spawned[1]
+        # Woken by the cross-core send, the consumer kept its identity
+        # (the channel handoff only adopts onto context-less receivers).
+        assert consumer.trace_ctx is ctx_consumer
+        assert producer.trace_ctx is ctx_producer
+        record_c = recorder.traces[ctx_consumer.trace_id]
+        record_p = recorder.traces[ctx_producer.trace_id]
+        assert record_c.cores and record_p.cores
+        assert record_c.cores | record_p.cores == {0, 1}
+
+
 class TestShootdowns:
     def test_pagetable_hook_fires_only_when_stale(self):
         """Fresh mappings leave nothing stale in any TLB (Linux charges
